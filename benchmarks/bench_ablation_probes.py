@@ -1,0 +1,54 @@
+"""§4 loss-compensation ablation: PROBE repetition count x channel loss.
+
+Paper: "In experiments we found that three PROBEs work well against loss
+rates of up to 10%.  These multiple messages will increase energy but our
+evaluation shows that the energy overhead is still smaller than 1%."
+
+Metric: redundant work starts (a prober that misses every REPLY starts
+working next to an existing worker; §4 overlap resolution later prunes it,
+so ``overlap_turnoffs`` counts the control plane's mistakes).
+"""
+
+from repro.core import PEASConfig
+from repro.experiments import Scenario, format_table, run_scenario
+
+BASE = Scenario(
+    num_nodes=200,
+    field_size=(30.0, 30.0),
+    seed=31,
+    with_traffic=False,
+    failure_per_5000s=0.0,
+    max_time_s=5000.0,
+)
+
+LOSS_RATES = (0.0, 0.05, 0.10, 0.20)
+
+
+def test_probe_repetition_vs_loss(benchmark):
+    def run():
+        rows = []
+        for loss in LOSS_RATES:
+            row = [loss]
+            for probes in (1, 3):
+                result = run_scenario(
+                    BASE.with_(loss_rate=loss, config=PEASConfig(num_probes=probes))
+                )
+                mistakes = result.counters.get("overlap_turnoffs", 0)
+                row.extend([mistakes, result.energy_overhead_ratio * 100])
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["loss", "mistakes (1 probe)", "ovh% (1)", "mistakes (3 probes)", "ovh% (3)"],
+        [[f"{r[0]:.2f}", r[1], f"{r[2]:.3f}", r[3], f"{r[4]:.3f}"] for r in rows],
+        title="§4 ablation: PROBE repetitions vs channel loss "
+              "(paper: 3 PROBEs tolerate ~10% loss at <1% energy overhead)",
+    ))
+
+    by_loss = {r[0]: r for r in rows}
+    # At 10% loss, three PROBEs make fewer control-plane mistakes than one.
+    assert by_loss[0.10][3] <= by_loss[0.10][1]
+    # And the extra frames keep total overhead under the 1% headline bound.
+    assert all(r[4] < 1.0 for r in rows)

@@ -1,0 +1,99 @@
+"""§3 analysis benches: Lemma 3.1 empty cells and Theorem 3.1 connectivity.
+
+* Lemma 3.1: with ``c^2 n = k l^2 ln l`` and k > 2, the expected number of
+  empty R_p-cells vanishes as the field grows; with k < 2 it does not.
+* Lemma 3.2 / Theorem 3.1: working sets produced by the probing rule have
+  nearest working neighbors within ``(1 + sqrt(5)) R_p``, and are connected
+  whenever ``R_t >= (1 + sqrt(5)) R_p``.
+"""
+
+import random
+
+from repro.analysis import (
+    THEOREM_RANGE_FACTOR,
+    connectivity_vs_range_factor,
+    empty_cells_vs_side,
+    neighbor_distance_bound_fraction,
+    rsa_working_set,
+)
+from repro.experiments import format_table
+from repro.net import Field, uniform_deployment
+
+
+def test_lemma31_empty_cells(benchmark):
+    rng = random.Random(0)
+
+    def run():
+        return {
+            k: empty_cells_vs_side([30.0, 60.0, 90.0], cell=3.0, k=k,
+                                   trials=3, rng=rng)
+            for k in (0.5, 3.0)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    rows = []
+    for k, series in results.items():
+        for side, empties in series:
+            rows.append([f"{k:.1f}", side, empties])
+    print(format_table(
+        ["k", "field side (m)", "mean empty cells"],
+        rows,
+        title="Lemma 3.1: empty R_p-cells under c^2 n = k l^2 ln l "
+              "(paper: k > 2 drives E[empty] -> 0)",
+    ))
+    # k > 2: essentially no empty cells even at the largest side.
+    assert results[3.0][-1][1] <= 1.0
+    # k < 2: empty cells persist and grow with the field.
+    assert results[0.5][-1][1] > results[3.0][-1][1]
+    assert results[0.5][-1][1] > 10.0
+
+
+def test_lemma32_neighbor_distance_bound(benchmark):
+    def run():
+        rng = random.Random(1)
+        field = Field(50.0, 50.0)
+        fractions = []
+        for _ in range(5):
+            candidates = uniform_deployment(field, 800, rng)
+            workers = rsa_working_set(candidates, probe_range=3.0, rng=rng)
+            fractions.append(neighbor_distance_bound_fraction(workers, 3.0))
+        return fractions
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["trial", "fraction within (1+sqrt5) R_p"],
+        [[i, f"{fraction:.3f}"] for i, fraction in enumerate(fractions)],
+        title="Lemma 3.2: nearest working neighbor within (1+sqrt5) R_p "
+              "(paper: holds a.a.s.)",
+    ))
+    assert all(fraction == 1.0 for fraction in fractions)
+
+
+def test_theorem31_connectivity_sweep(benchmark):
+    def run():
+        rng = random.Random(2)
+        return connectivity_vs_range_factor(
+            Field(50.0, 50.0),
+            num_nodes=600,
+            probe_range=3.0,
+            factors=[1.5, 2.0, 2.5, 3.0, THEOREM_RANGE_FACTOR, 3.5],
+            trials=12,
+            rng=rng,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Rt/Rp factor", "P(connected)"],
+        [[f"{factor:.3f}", f"{probability:.2f}"] for factor, probability in rows],
+        title="Theorem 3.1: connectivity vs transmission-range factor "
+              "(paper: guaranteed at factor >= 1+sqrt5 ~ 3.236)",
+    ))
+    by_factor = dict(rows)
+    # At the theorem's factor connectivity is certain; far below it, it fails.
+    assert by_factor[THEOREM_RANGE_FACTOR] == 1.0
+    assert by_factor[1.5] < 0.5
+    # The paper's own evaluation point: R_t = 10 m, R_p = 3 m -> factor 3.33.
+    assert by_factor[3.5] == 1.0

@@ -1,0 +1,39 @@
+"""Figure 9: coverage lifetime vs deployment number.
+
+Paper: "As the sensor population increases, each lifetime increases almost
+linearly ... the lifetimes of 3-coverage are longer than those of
+4-coverage" (§5.2).  The bench regenerates the three series (3/4/5-coverage
+lifetimes at 160..800 nodes) and asserts the linear-growth shape and the
+K-ordering.
+"""
+
+from repro.experiments import fig9_rows, format_table, get_deployment_results
+
+
+def _rows():
+    return fig9_rows(get_deployment_results())
+
+
+def test_fig9_coverage_lifetime_vs_deployment(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["nodes", "3-cov lifetime (s)", "4-cov lifetime (s)", "5-cov lifetime (s)"],
+        rows,
+        title="Figure 9: coverage lifetime vs deployment number "
+              "(paper: ~linear, 3-cov > 4-cov > 5-cov)",
+    ))
+
+    populations = [row[0] for row in rows]
+    assert populations == [160, 320, 480, 640, 800]
+    for row in rows:
+        three, four, five = row[1], row[2], row[3]
+        assert three is not None and four is not None and five is not None
+        # K-ordering: fewer required covers -> longer lifetime.
+        assert three >= four >= five
+
+    # Linear growth: 5x the nodes buys at least 2.5x the 4-coverage lifetime
+    # and every step increases it.
+    four_cov = [row[2] for row in rows]
+    assert four_cov[-1] > 2.5 * four_cov[0]
+    assert all(b > a * 0.95 for a, b in zip(four_cov, four_cov[1:]))

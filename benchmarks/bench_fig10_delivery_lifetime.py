@@ -1,0 +1,34 @@
+"""Figure 10: data delivery lifetime vs deployment number.
+
+Paper: "Given 160 nodes, the data delivery lifetime is about 6600 seconds
+... As the deployment number increases, the average data delivery lifetime
+increases linearly.  Each additional increase in node number prolongs the
+delivery lifetime for about another 6000 seconds" (§5.2).
+"""
+
+from repro.experiments import fig10_rows, format_table, get_deployment_results
+
+
+def _rows():
+    return fig10_rows(get_deployment_results())
+
+
+def test_fig10_delivery_lifetime_vs_deployment(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["nodes", "delivery lifetime (s)"],
+        rows,
+        title="Figure 10: data delivery lifetime vs deployment number "
+              "(paper: ~6600 s at 160, +~6000 s per +160 nodes)",
+    ))
+
+    lifetimes = [row[1] for row in rows]
+    assert all(value is not None for value in lifetimes)
+    # The base deployment exceeds a single battery's idle lifetime: the
+    # replacements keep delivering after the first generation dies.
+    assert lifetimes[0] > 5000.0
+    # Linear growth shape: the 800-node deployment delivers several times
+    # longer than the base, and the trend is increasing end to end.
+    assert lifetimes[-1] > 2.5 * lifetimes[0]
+    assert lifetimes[-1] > lifetimes[len(lifetimes) // 2] > lifetimes[0]

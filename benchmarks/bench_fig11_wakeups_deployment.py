@@ -1,0 +1,32 @@
+"""Figure 11: average total wakeup count vs deployment number.
+
+Paper: "Figure 11 shows the average number of wakeups for each deployment
+number.  This number also grows linearly as the node population increases.
+This is because Adaptive Sleeping adjusts the wakeup frequency to the
+desired level.  When the network functions longer, more wakeups happen"
+(§5.2).
+"""
+
+from repro.experiments import fig11_rows, format_table, get_deployment_results
+
+
+def _rows():
+    return fig11_rows(get_deployment_results())
+
+
+def test_fig11_total_wakeups_vs_deployment(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["nodes", "total wakeups"],
+        rows,
+        title="Figure 11: average total wakeup count vs deployment number "
+              "(paper: grows ~linearly, ~25k-35k at 800 nodes)",
+    ))
+
+    wakeups = [row[1] for row in rows]
+    assert all(value is not None and value > 0 for value in wakeups)
+    # Strictly increasing with population, and super-proportional to the
+    # longer lifetime (more nodes -> more sleepers waking for longer).
+    assert all(b > a for a, b in zip(wakeups, wakeups[1:]))
+    assert wakeups[-1] > 4 * wakeups[0]

@@ -1,0 +1,37 @@
+"""Figure 12: coverage lifetime vs failure rate (N = 480).
+
+Paper (§5.3): failure rates 5.33..48 per 5000 s; at the maximum ~38% of all
+nodes die by injected failures, yet "the coverage lifetime drops only
+between 12% to 20%".
+"""
+
+from repro.experiments import fig12_rows, format_table, get_failure_results
+
+
+def _rows():
+    return fig12_rows(get_failure_results())
+
+
+def test_fig12_coverage_lifetime_vs_failure_rate(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["failure rate (/5000s)", "3-cov (s)", "4-cov (s)", "5-cov (s)",
+         "failed fraction"],
+        [[f"{r[0]:.2f}", r[1], r[2], r[3],
+          f"{r[4]:.2f}" if r[4] is not None else "-"] for r in rows],
+        title="Figure 12: coverage lifetime vs failure rate, N=480 "
+              "(paper: <=12-20% drop even at ~38% failed nodes)",
+    ))
+
+    rates = [row[0] for row in rows]
+    assert rates[0] == 5.33 and rates[-1] == 48.0
+    # The maximum rate kills a large fraction of the population (paper ~38%).
+    assert rows[-1][4] > 0.25
+    # Robustness: even at the harshest rate the network retains most of its
+    # calm-rate 3-coverage lifetime (paper: 80-88%; we allow >=55% at quick
+    # bench scale).
+    calm = rows[0][1]
+    harsh = rows[-1][1]
+    assert calm is not None and harsh is not None
+    assert harsh > 0.55 * calm

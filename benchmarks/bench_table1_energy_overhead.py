@@ -1,0 +1,46 @@
+"""Table 1: energy overhead for deployment numbers.
+
+Paper values (§5.2):
+
+    nodes   overhead   ratio
+    160     11.58 J    0.143 %
+    320     34.18 J    0.207 %
+    480     58.68 J    0.236 %
+    640     83.53 J    0.250 %
+    800    111.11 J    0.267 %
+
+"The table shows that the energy overhead is less than 0.3% of the total
+energy consumption."  Our packet-level control plane is somewhat chattier
+(CSMA retries, multi-REPLY), so the bench asserts the paper's qualitative
+claims: overhead grows with population, the *ratio* stays far below the 1%
+headline bound (§1), and the absolute overhead is tens-to-hundreds of
+joules out of tens of kilojoules.
+"""
+
+from repro.experiments import format_table, get_deployment_results, table1_rows
+
+
+def _rows():
+    return table1_rows(get_deployment_results())
+
+
+def test_table1_energy_overhead(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["nodes", "energy overhead (J)", "overhead ratio (%)"],
+        [[n, o, f"{r:.3f}" if r is not None else "-"] for n, o, r in rows],
+        title="Table 1: energy overhead for deployment numbers "
+              "(paper: 11.6 J/0.143% at 160 -> 111 J/0.267% at 800; <1% always)",
+    ))
+
+    overheads = [row[1] for row in rows]
+    ratios = [row[2] for row in rows]
+    assert all(value is not None for value in overheads)
+    # Overhead grows with the deployment (more sleepers probing for longer).
+    assert all(b > a for a, b in zip(overheads, overheads[1:]))
+    # §1 headline: "using less than 1% of the total energy consumption".
+    assert all(ratio < 1.0 for ratio in ratios)
+    # Same order of magnitude as the paper's absolute numbers.
+    assert 5.0 < overheads[0] < 100.0
+    assert 50.0 < overheads[-1] < 600.0

@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+The paper-artifact benchmarks share two memoized simulation sweeps (see
+``repro.experiments.paper``); the first benchmark touching a sweep pays its
+cost, later ones reuse the cached results.  Scale knobs:
+
+* ``REPRO_BENCH_SCALE`` in {smoke, quick, full}: seeds per data point
+  (1/2/5; the paper averages 5 runs per point).
+* ``REPRO_PROCESSES``: process-pool width for the sweeps.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_report_header(config):
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    return f"PEAS reproduction benchmarks — scale={scale} (REPRO_BENCH_SCALE)"
+
+
+@pytest.fixture(scope="session")
+def deployment_groups():
+    """Results of the Fig 9/10/11 + Table 1 sweep, keyed by population."""
+    from repro.experiments import get_deployment_results
+
+    return get_deployment_results()
+
+
+@pytest.fixture(scope="session")
+def failure_groups():
+    """Results of the Fig 12/13/14 sweep, keyed by failure rate."""
+    from repro.experiments import get_failure_results
+
+    return get_failure_results()

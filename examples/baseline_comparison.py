@@ -1,0 +1,70 @@
+"""PEAS against the related-work baselines (§2.1.1 and §6, Figures 4/5).
+
+Runs the identical deployment, batteries and failure process under five
+coordination policies and prints a side-by-side comparison:
+
+* ``PEAS``         — probing + adaptive sleeping (this paper);
+* ``always_on``    — no energy conservation;
+* ``duty_cycle``   — randomized independent sleeping, no coordination;
+* ``gaf``          — GAF-like grid leaders with predicted-lifetime sleeps;
+* ``synchronized`` — round-based synchronized wakeup/election.
+
+Watch two columns: lifetime (PEAS-class protocols extend it far beyond one
+battery) and the gap percentiles (predicted-lifetime schemes leave long
+dark intervals after unexpected failures — the paper's Figure 4 — while
+PEAS's randomized probing refills holes quickly — Figure 5).
+"""
+
+from repro.baselines import BASELINE_FACTORIES, run_baseline
+from repro.experiments import Scenario, format_table, run_scenario
+
+SCENARIO = Scenario(
+    num_nodes=320,
+    seed=7,
+    with_traffic=False,
+    failure_per_5000s=15.0,  # harsh: unexpected failures are the norm (§1)
+    measure_gaps=True,
+)
+
+
+def main() -> None:
+    print(
+        f"Comparing protocols: {SCENARIO.num_nodes} nodes, failure rate "
+        f"{SCENARIO.failure_per_5000s}/5000s.\n"
+    )
+    rows = []
+    print("Running PEAS ...")
+    peas = run_scenario(SCENARIO)
+    rows.append(_row("PEAS", peas))
+    for name in sorted(BASELINE_FACTORIES):
+        print(f"Running {name} ...")
+        result = run_baseline(SCENARIO, protocol=name, measure_gaps=True)
+        rows.append(_row(name, result))
+
+    print()
+    print(format_table(
+        ["protocol", "3-cov lifetime (s)", "mean gap (s)", "p95 gap (s)",
+         "energy used (J)"],
+        rows,
+        title="PEAS vs related-work baselines under unexpected failures",
+    ))
+    print(
+        "\nReading guide: always_on dies with its first battery; gaf's"
+        "\npredicted-lifetime sleeps leave enormous gaps when leaders fail"
+        "\nunexpectedly (Figure 4); PEAS keeps gaps near 1/lambda_d while"
+        "\nmatching the best lifetimes (Figure 5)."
+    )
+
+
+def _row(label, result):
+    return [
+        label,
+        result.coverage_lifetimes.get(3),
+        f"{result.extras['gap_mean_s']:.0f}",
+        f"{result.extras['gap_p95_s']:.0f}",
+        f"{result.energy_total_j:.0f}",
+    ]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` on
+environments that lack the `wheel` package (configuration in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""Analytical validations: §3 connectivity and §2.2.1 estimator accuracy."""
+
+from .cells import empty_cell_count, empty_cells_vs_side, nodes_for_condition
+from .connectivity import (
+    connectivity_probability,
+    connectivity_vs_range_factor,
+    is_connected,
+    neighbor_distance_bound_fraction,
+    working_graph,
+)
+from .estimation import (
+    k_for_error,
+    merged_interval_samples,
+    relative_error_quantile,
+    simulate_estimator_errors,
+)
+from .geometry import (
+    THEOREM_RANGE_FACTOR,
+    min_neighbor_distances,
+    min_pairwise_distance,
+    rsa_working_set,
+)
+from .lifetime_model import (
+    LifetimePrediction,
+    predict_lifetime,
+    rsa_working_count,
+)
+
+__all__ = [
+    "THEOREM_RANGE_FACTOR",
+    "min_pairwise_distance",
+    "min_neighbor_distances",
+    "rsa_working_set",
+    "working_graph",
+    "is_connected",
+    "connectivity_probability",
+    "connectivity_vs_range_factor",
+    "neighbor_distance_bound_fraction",
+    "empty_cell_count",
+    "nodes_for_condition",
+    "empty_cells_vs_side",
+    "relative_error_quantile",
+    "k_for_error",
+    "simulate_estimator_errors",
+    "merged_interval_samples",
+    "LifetimePrediction",
+    "predict_lifetime",
+    "rsa_working_count",
+]

@@ -1,0 +1,115 @@
+"""Empirical validation of the §3 connectivity results.
+
+* **Lemma 3.2**: when every R_p-cell holds at least one deployed node,
+  every working node asymptotically has a working neighbor within
+  ``(1 + sqrt(5)) R_p``.
+* **Theorem 3.1**: under the same density condition, the working set is
+  asymptotically connected when the transmission range satisfies
+  ``R_t >= (1 + sqrt(5)) R_p``.
+
+The checks here run on arbitrary working sets — either produced by the
+abstract probing rule (:func:`~repro.analysis.geometry.rsa_working_set`)
+or extracted from a live PEAS simulation — and measure the two quantities
+the proofs bound: the max nearest-working-neighbor distance and the
+connectivity probability as a function of R_t / R_p.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from ..net import Field, Point, uniform_deployment
+from .geometry import THEOREM_RANGE_FACTOR, min_neighbor_distances, rsa_working_set
+
+__all__ = [
+    "working_graph",
+    "is_connected",
+    "connectivity_probability",
+    "neighbor_distance_bound_fraction",
+    "connectivity_vs_range_factor",
+]
+
+
+def working_graph(points: Sequence[Point], tx_range: float) -> "nx.Graph":
+    """Unit-disk communication graph over the working set."""
+    if tx_range <= 0:
+        raise ValueError("tx_range must be positive")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(points)))
+    r_sq = tx_range * tx_range
+    for i in range(len(points)):
+        xi, yi = points[i]
+        for j in range(i + 1, len(points)):
+            dx = points[j][0] - xi
+            dy = points[j][1] - yi
+            if dx * dx + dy * dy <= r_sq:
+                graph.add_edge(i, j)
+    return graph
+
+
+def is_connected(points: Sequence[Point], tx_range: float) -> bool:
+    """Whether the working set forms one connected component."""
+    if len(points) <= 1:
+        return True
+    return nx.is_connected(working_graph(points, tx_range))
+
+
+def neighbor_distance_bound_fraction(
+    points: Sequence[Point], probe_range: float
+) -> float:
+    """Fraction of working nodes whose nearest working neighbor is within
+    the Lemma 3.2 bound ``(1 + sqrt(5)) R_p`` (1.0 = bound always holds)."""
+    distances = min_neighbor_distances(points)
+    if not distances:
+        return 1.0
+    bound = THEOREM_RANGE_FACTOR * probe_range
+    return sum(1 for d in distances if d <= bound) / len(distances)
+
+
+def connectivity_probability(
+    field: Field,
+    num_nodes: int,
+    probe_range: float,
+    tx_range: float,
+    trials: int,
+    rng: random.Random,
+) -> float:
+    """Monte-Carlo P(connected) of probing-rule working sets.
+
+    Each trial deploys ``num_nodes`` uniform candidates, applies the
+    abstract probing rule and checks unit-disk connectivity at ``tx_range``.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    connected = 0
+    for _ in range(trials):
+        candidates = uniform_deployment(field, num_nodes, rng)
+        workers = rsa_working_set(candidates, probe_range, rng)
+        if is_connected(workers, tx_range):
+            connected += 1
+    return connected / trials
+
+
+def connectivity_vs_range_factor(
+    field: Field,
+    num_nodes: int,
+    probe_range: float,
+    factors: Sequence[float],
+    trials: int,
+    rng: random.Random,
+) -> List[Tuple[float, float]]:
+    """P(connected) for each R_t = factor * R_p — the Theorem 3.1 sweep.
+
+    The theorem predicts the probability approaches 1 for factors at or
+    above ``1 + sqrt(5) ~ 3.236`` (given sufficient deployment density).
+    """
+    rows: List[Tuple[float, float]] = []
+    for factor in factors:
+        probability = connectivity_probability(
+            field, num_nodes, probe_range, factor * probe_range, trials, rng
+        )
+        rows.append((factor, probability))
+    return rows

@@ -1,0 +1,139 @@
+"""Measurement-accuracy study for the §2.2.1 k-interval estimator.
+
+§2.2.1 argues: "Because the intervals are i.i.d. random variables, we apply
+the central limit theorem to estimate how large k should be ... It turns
+out that when k >= 16, with over 99% confidence the measured average has
+only 1% error compared with the real value.  We select k = 32."
+
+The module provides both the exact analysis and Monte-Carlo measurement of
+the k-interval estimator's relative error, so the claim can be checked
+quantitatively (spoiler, recorded in EXPERIMENTS.md: the mean of k
+exponential intervals has relative standard deviation 1/sqrt(k) — 25 % at
+k = 16 — so the "1 % error at 99 % confidence" reading of the claim is off
+by orders of magnitude; k = 32 actually buys ~18 % typical error, which the
+capped multiplicative feedback tolerates).
+
+It also validates the superposition property Adaptive Sleeping relies on
+(eq. 3): merging independent Poisson processes yields a Poisson process
+whose rate is the sum of the components'.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "relative_error_quantile",
+    "k_for_error",
+    "simulate_estimator_errors",
+    "merged_interval_samples",
+]
+
+
+def relative_error_quantile(k: int, confidence: float) -> float:
+    """CLT bound on the k-interval estimator's relative error.
+
+    The measured mean interval over k i.i.d. Exp(lambda) intervals has
+    relative standard deviation ``1/sqrt(k)``; the two-sided ``confidence``
+    quantile of the relative error is ``z * / sqrt(k)`` with ``z`` the
+    standard-normal quantile.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    return _normal_quantile(0.5 + confidence / 2.0) / math.sqrt(k)
+
+
+def k_for_error(max_relative_error: float, confidence: float) -> int:
+    """Smallest k for which the CLT error bound meets the target.
+
+    For the paper's stated target (1 % error, 99 % confidence) this returns
+    ~66,000 — not 16 — quantifying the §2.2.1 discrepancy.
+    """
+    if max_relative_error <= 0:
+        raise ValueError("max_relative_error must be positive")
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    return int(math.ceil((z / max_relative_error) ** 2))
+
+
+def simulate_estimator_errors(
+    k: int, rate: float, trials: int, rng: random.Random
+) -> List[float]:
+    """Monte-Carlo relative errors of lambda-hat = k / T_k.
+
+    Draws k Exp(rate) intervals per trial and returns
+    ``(lambda-hat - rate) / rate`` for each.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    errors: List[float] = []
+    for _ in range(trials):
+        total = sum(rng.expovariate(rate) for _ in range(k))
+        estimate = k / total
+        errors.append((estimate - rate) / rate)
+    return errors
+
+
+def merged_interval_samples(
+    rates: Sequence[float], samples: int, rng: random.Random
+) -> Tuple[float, List[float]]:
+    """Inter-arrival samples of the superposition of Poisson processes.
+
+    Simulates independent Poisson processes with the given rates, merges
+    their event streams and returns ``(sum_of_rates, merged_intervals)``.
+    Equation 3 predicts the merged intervals are Exp(sum of rates); tests
+    and the adaptive-sleeping bench verify mean and variance accordingly.
+    """
+    if not rates or any(r <= 0 for r in rates):
+        raise ValueError("rates must be non-empty and positive")
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    total_rate = float(sum(rates))
+    # Generate enough events per component to cover the sample horizon.
+    horizon = (samples + 10) / total_rate * 1.5
+    events: List[float] = []
+    for rate in rates:
+        t = 0.0
+        while t < horizon:
+            t += rng.expovariate(rate)
+            if t < horizon:
+                events.append(t)
+    events.sort()
+    intervals = [b - a for a, b in zip(events, events[1:])]
+    return total_rate, intervals[:samples]
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0 < p < 1:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )

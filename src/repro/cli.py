@@ -1,0 +1,242 @@
+"""Command-line interface: ``peas-repro <command>``.
+
+Commands mirror the paper's evaluation artifacts::
+
+    peas-repro run --nodes 320 --seed 1          # one scenario, full metrics
+    peas-repro fig9                               # coverage lifetime vs N
+    peas-repro fig10 / fig11 / table1             # delivery / wakeups / energy
+    peas-repro fig12 / fig13 / fig14              # failure-rate sweeps
+    peas-repro baselines --nodes 320              # PEAS vs baseline protocols
+    peas-repro connectivity                       # Theorem 3.1 sweep
+    peas-repro estimator                          # §2.2.1 accuracy study
+
+Scale knobs: ``REPRO_BENCH_SCALE`` in {smoke, quick, full} (seeds per
+point), ``REPRO_PROCESSES`` (process-pool width).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    connectivity_vs_range_factor,
+    k_for_error,
+    relative_error_quantile,
+    simulate_estimator_errors,
+)
+from .baselines import BASELINE_FACTORIES, run_baseline
+from .experiments import (
+    Scenario,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    fig13_rows,
+    fig14_rows,
+    format_table,
+    get_deployment_results,
+    get_failure_results,
+    run_scenario,
+    table1_rows,
+)
+from .net import Field
+
+__all__ = ["main"]
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    scenario = Scenario(
+        num_nodes=args.nodes,
+        seed=args.seed,
+        failure_per_5000s=args.failure_rate,
+        with_traffic=not args.no_traffic,
+        measure_gaps=True,
+    )
+    result = run_scenario(scenario)
+    print(f"nodes={result.num_nodes} seed={result.seed} end_time={result.end_time:.0f}s")
+    for k in sorted(result.coverage_lifetimes):
+        print(f"  {k}-coverage lifetime: {result.coverage_lifetimes[k]}")
+    print(f"  data delivery lifetime: {result.delivery_lifetime}")
+    print(f"  total wakeups: {result.total_wakeups}")
+    print(
+        f"  energy: total={result.energy_total_j:.1f}J "
+        f"overhead={result.energy_overhead_j:.2f}J "
+        f"({result.energy_overhead_ratio * 100:.3f}%)"
+    )
+    print(f"  failures injected: {result.failures_injected} "
+          f"({result.failure_fraction * 100:.1f}%)")
+    if result.extras:
+        print(f"  replacement gaps: n={result.extras['gap_count']:.0f} "
+              f"mean={result.extras['gap_mean_s']:.1f}s "
+              f"p95={result.extras['gap_p95_s']:.1f}s")
+
+
+def _cmd_deployment_artifact(name: str) -> None:
+    groups = get_deployment_results()
+    if name == "fig9":
+        print(format_table(
+            ["nodes", "3-cov lifetime (s)", "4-cov lifetime (s)", "5-cov lifetime (s)"],
+            fig9_rows(groups), title="Figure 9: coverage lifetime vs deployment number"))
+    elif name == "fig10":
+        print(format_table(
+            ["nodes", "delivery lifetime (s)"],
+            fig10_rows(groups), title="Figure 10: data delivery lifetime vs deployment number"))
+    elif name == "fig11":
+        print(format_table(
+            ["nodes", "total wakeups"],
+            fig11_rows(groups), title="Figure 11: average total wakeups vs deployment number"))
+    elif name == "table1":
+        print(format_table(
+            ["nodes", "energy overhead (J)", "overhead ratio (%)"],
+            [[n, o, f"{r:.3f}" if r is not None else "-"] for n, o, r in table1_rows(groups)],
+            title="Table 1: energy overhead for deployment numbers"))
+
+
+def _cmd_failure_artifact(name: str) -> None:
+    groups = get_failure_results()
+    if name == "fig12":
+        print(format_table(
+            ["failure rate", "3-cov (s)", "4-cov (s)", "5-cov (s)", "failed frac"],
+            [[f"{r[0]:.2f}", r[1], r[2], r[3], f"{r[4]:.2f}" if r[4] else "-"]
+             for r in fig12_rows(groups)],
+            title="Figure 12: coverage lifetime vs failure rate (N=480)"))
+    elif name == "fig13":
+        print(format_table(
+            ["failure rate", "delivery lifetime (s)"],
+            fig13_rows(groups), title="Figure 13: data delivery lifetime vs failure rate"))
+    elif name == "fig14":
+        print(format_table(
+            ["failure rate", "total wakeups", "overhead ratio (%)"],
+            [[f"{r[0]:.2f}", r[1], f"{r[2]:.3f}" if r[2] is not None else "-"]
+             for r in fig14_rows(groups)],
+            title="Figure 14: total wakeups vs failure rate (N=480)"))
+
+
+def _cmd_baselines(args: argparse.Namespace) -> None:
+    scenario = Scenario(
+        num_nodes=args.nodes, seed=args.seed, with_traffic=False, measure_gaps=True
+    )
+    rows = []
+    peas = run_scenario(scenario)
+    rows.append(["PEAS", peas.coverage_lifetimes.get(4), peas.end_time,
+                 f"{peas.extras['gap_mean_s']:.0f}", f"{peas.extras['gap_p95_s']:.0f}"])
+    for name in sorted(BASELINE_FACTORIES):
+        result = run_baseline(scenario, protocol=name, measure_gaps=True)
+        rows.append([name, result.coverage_lifetimes.get(4), result.end_time,
+                     f"{result.extras['gap_mean_s']:.0f}",
+                     f"{result.extras['gap_p95_s']:.0f}"])
+    print(format_table(
+        ["protocol", "4-cov lifetime (s)", "end (s)", "mean gap (s)", "p95 gap (s)"],
+        rows, title=f"PEAS vs baselines (N={args.nodes})"))
+
+
+def _cmd_connectivity(args: argparse.Namespace) -> None:
+    rng = random.Random(args.seed)
+    rows = connectivity_vs_range_factor(
+        Field(args.side, args.side),
+        num_nodes=args.nodes,
+        probe_range=3.0,
+        factors=[1.5, 2.0, 2.5, 3.0, 1.0 + 5 ** 0.5, 3.5, 4.0],
+        trials=args.trials,
+        rng=rng,
+    )
+    print(format_table(
+        ["Rt/Rp factor", "P(connected)"],
+        [[f"{f:.3f}", f"{p:.2f}"] for f, p in rows],
+        title="Theorem 3.1: connectivity vs transmission-range factor"))
+
+
+def _cmd_estimator(args: argparse.Namespace) -> None:
+    rng = random.Random(args.seed)
+    rows = []
+    for k in (4, 8, 16, 32, 64, 128):
+        errors = simulate_estimator_errors(k, rate=0.02, trials=2000, rng=rng)
+        rms = (sum(e * e for e in errors) / len(errors)) ** 0.5
+        within_1pct = sum(1 for e in errors if abs(e) <= 0.01) / len(errors)
+        clt = relative_error_quantile(k, 0.99)
+        rows.append([k, f"{rms * 100:.1f}", f"{within_1pct * 100:.1f}", f"{clt * 100:.1f}"])
+    print(format_table(
+        ["k", "RMS error (%)", "P(|err|<=1%) (%)", "CLT 99% bound (%)"],
+        rows, title="k-interval estimator accuracy (paper claims 1% @ 99% for k>=16)"))
+    print(f"\nk needed for 1% error at 99% confidence (CLT): {k_for_error(0.01, 0.99)}")
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from .experiments import render_report
+
+    scenario = Scenario(
+        num_nodes=args.nodes,
+        seed=args.seed,
+        failure_per_5000s=args.failure_rate,
+        keep_series=True,
+        measure_gaps=True,
+    )
+    print(render_report(run_scenario(scenario)))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="peas-repro",
+        description="PEAS (ICDCS 2003) reproduction: run paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scenario and print metrics")
+    run_p.add_argument("--nodes", type=int, default=160)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--failure-rate", type=float, default=10.66,
+                       help="failures per 5000 s")
+    run_p.add_argument("--no-traffic", action="store_true")
+
+    for name in ("fig9", "fig10", "fig11", "table1"):
+        sub.add_parser(name, help=f"reproduce {name} (deployment sweep)")
+    for name in ("fig12", "fig13", "fig14"):
+        sub.add_parser(name, help=f"reproduce {name} (failure sweep)")
+
+    base_p = sub.add_parser("baselines", help="PEAS vs baseline protocols")
+    base_p.add_argument("--nodes", type=int, default=320)
+    base_p.add_argument("--seed", type=int, default=0)
+
+    conn_p = sub.add_parser("connectivity", help="Theorem 3.1 range sweep")
+    conn_p.add_argument("--side", type=float, default=50.0)
+    conn_p.add_argument("--nodes", type=int, default=600)
+    conn_p.add_argument("--trials", type=int, default=20)
+    conn_p.add_argument("--seed", type=int, default=0)
+
+    est_p = sub.add_parser("estimator", help="§2.2.1 estimator accuracy study")
+    est_p.add_argument("--seed", type=int, default=0)
+
+    report_p = sub.add_parser(
+        "report", help="run one scenario and print a timeline report"
+    )
+    report_p.add_argument("--nodes", type=int, default=320)
+    report_p.add_argument("--seed", type=int, default=0)
+    report_p.add_argument("--failure-rate", type=float, default=10.66)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        _cmd_run(args)
+    elif args.command in ("fig9", "fig10", "fig11", "table1"):
+        _cmd_deployment_artifact(args.command)
+    elif args.command in ("fig12", "fig13", "fig14"):
+        _cmd_failure_artifact(args.command)
+    elif args.command == "baselines":
+        _cmd_baselines(args)
+    elif args.command == "connectivity":
+        _cmd_connectivity(args)
+    elif args.command == "estimator":
+        _cmd_estimator(args)
+    elif args.command == "report":
+        _cmd_report(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""PEAS protocol core: Probing Environment + Adaptive Sleeping (§2, §4).
+
+Public surface:
+
+* :class:`~repro.core.config.PEASConfig` — all protocol parameters;
+* :class:`~repro.core.node.PEASNode` — the per-node state machine;
+* :class:`~repro.core.protocol.PEASNetwork` — a wired deployment;
+* :class:`~repro.core.adaptive_sleep.RateEstimator` and helpers — the
+  Adaptive Sleeping math;
+* :mod:`~repro.core.states`, :mod:`~repro.core.messages`,
+  :mod:`~repro.core.extensions` — modes, wire messages and §4 extensions.
+"""
+
+from .adaptive_sleep import RateEstimator, select_feedback, sleep_duration, updated_rate
+from .config import PEASConfig
+from .extensions import ReceptionFilter, overlap_should_sleep
+from .messages import PROBE_KIND, REPLY_KIND, ProbeMessage, ReplyMessage
+from .node import NodeHooks, PEASNode
+from .protocol import PEASNetwork, validate_timing
+from .states import LEGAL_TRANSITIONS, DeathCause, NodeMode, check_transition
+
+__all__ = [
+    "PEASConfig",
+    "PEASNode",
+    "NodeHooks",
+    "PEASNetwork",
+    "validate_timing",
+    "RateEstimator",
+    "updated_rate",
+    "select_feedback",
+    "sleep_duration",
+    "ReceptionFilter",
+    "overlap_should_sleep",
+    "ProbeMessage",
+    "ReplyMessage",
+    "PROBE_KIND",
+    "REPLY_KIND",
+    "NodeMode",
+    "DeathCause",
+    "LEGAL_TRANSITIONS",
+    "check_transition",
+]

@@ -1,0 +1,127 @@
+"""PEAS protocol configuration.
+
+All protocol knobs from §2 and §4 of the paper, with the evaluation
+section's defaults (§5.2):
+
+* probing range R_p = 3 m,
+* initial per-node probing rate lambda_0 = 0.1 wakeups/s,
+* desired aggregate probing rate lambda_d = 0.02 wakeups/s
+  ("a wakeup every 50 seconds perceived by a working node"),
+* measurement window k = 32 PROBEs (§2.2.1),
+* 3 PROBEs per wakeup spread over the listening window (§4),
+* 100 ms listening window during which REPLYs randomly back off (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+__all__ = ["PEASConfig"]
+
+
+@dataclass(frozen=True)
+class PEASConfig:
+    """Immutable PEAS parameter set; see module docstring for paper values."""
+
+    # --- Probing Environment (§2.1) ---
+    probe_range_m: float = 3.0
+    initial_rate_hz: float = 0.1
+    #: PROBEs transmitted per wakeup (§4 loss compensation; paper uses 3).
+    num_probes: int = 3
+    #: Total listening window after waking (paper: 100 ms).
+    probe_window_s: float = 0.100
+    #: Inter-frame gap between the back-to-back PROBEs of one wakeup.
+    probe_gap_s: float = 0.002
+    #: Guard margin around the reply phase (after the PROBE burst, before
+    #: the window closes) within which REPLYs are randomized.
+    reply_guard_s: float = 0.002
+
+    # --- Adaptive Sleeping (§2.2) ---
+    desired_rate_hz: float = 0.02
+    #: Number of PROBE inter-arrivals per rate measurement (paper: k = 32).
+    measurement_window_k: int = 32
+    #: Feedback freshness: "running" reports the in-progress window's rate
+    #: (stable, the default); "windowed" reports only the last *completed*
+    #: window as §2.2 literally states — which is unstable with stale
+    #: measurements (see RateEstimator and the adaptive-sleeping ablation).
+    measurement_mode: str = "running"
+    #: Minimum window age before the running estimate is reported; ``None``
+    #: uses one desired gap (1/lambda_d).  Below this horizon a worker falls
+    #: back to its last completed k-window measurement.
+    measurement_horizon_s: Optional[float] = None
+    #: Safety clamps on the per-node rate; the paper leaves lambda unbounded.
+    #: The floor guarantees every sleeper still wakes within ~1000 s on
+    #: average so it can receive upward corrections.
+    min_rate_hz: float = 1e-3
+    max_rate_hz: float = 2.0
+    #: Per-update multiplicative step bound for eq. (2); ``None`` applies the
+    #: paper's unbounded step (unstable under the boot storm — see
+    #: repro.core.adaptive_sleep.updated_rate and the ablation benches).
+    max_adjust_factor: Optional[float] = 4.0
+    #: §4: with several working neighbors, adapt to the *largest* measured
+    #: rate, yielding the lowest new probing rate.
+    adapt_to_largest: bool = True
+
+    # --- §4 extensions ---
+    #: Working nodes overhear each other's REPLYs and the younger (smaller
+    #: T_w) of two workers within R_p goes back to sleep.
+    overlap_resolution: bool = True
+    #: Fixed transmission power: transmit at max range and filter receptions
+    #: by signal-strength threshold equivalent to R_p.
+    fixed_power: bool = False
+    #: Size of the recent-PROBE memory used to count a multi-PROBE wakeup
+    #: once in the rate measurement.  This is a small constant-size buffer,
+    #: not per-neighbor state (see DESIGN.md).
+    probe_dedupe_window: int = 16
+
+    def __post_init__(self) -> None:
+        if self.probe_range_m <= 0:
+            raise ValueError("probe_range_m must be positive")
+        if self.initial_rate_hz <= 0:
+            raise ValueError("initial_rate_hz must be positive")
+        if self.desired_rate_hz <= 0:
+            raise ValueError("desired_rate_hz must be positive")
+        if self.num_probes < 1:
+            raise ValueError("num_probes must be >= 1")
+        if self.probe_window_s <= 0:
+            raise ValueError("probe_window_s must be positive")
+        if self.probe_gap_s < 0:
+            raise ValueError("probe_gap_s must be nonnegative")
+        if self.reply_guard_s < 0:
+            raise ValueError("reply_guard_s must be nonnegative")
+        if self.measurement_window_k < 1:
+            raise ValueError("measurement_window_k must be >= 1")
+        if self.measurement_mode not in ("running", "windowed"):
+            raise ValueError("measurement_mode must be 'running' or 'windowed'")
+        if self.measurement_horizon_s is not None and self.measurement_horizon_s <= 0:
+            raise ValueError("measurement_horizon_s must be positive (or None)")
+        if not 0 < self.min_rate_hz <= self.max_rate_hz:
+            raise ValueError("need 0 < min_rate_hz <= max_rate_hz")
+        if self.max_adjust_factor is not None and self.max_adjust_factor < 1.0:
+            raise ValueError("max_adjust_factor must be >= 1 (or None)")
+        if not self.min_rate_hz <= self.initial_rate_hz <= self.max_rate_hz:
+            raise ValueError("initial_rate_hz outside [min_rate_hz, max_rate_hz]")
+        if self.probe_dedupe_window < 1:
+            raise ValueError("probe_dedupe_window must be >= 1")
+
+    def with_(self, **changes: Any) -> "PEASConfig":
+        """A copy with the given fields replaced (convenience for sweeps)."""
+        return replace(self, **changes)
+
+    def mean_initial_sleep_s(self) -> float:
+        """Expected first sleep duration, 1/lambda_0."""
+        return 1.0 / self.initial_rate_hz
+
+    def desired_gap_s(self) -> float:
+        """Mean interval between probes perceived by a working node when the
+        aggregate rate has converged to lambda_d (paper: 50 s)."""
+        return 1.0 / self.desired_rate_hz
+
+    def effective_horizon_s(self) -> float:
+        """The running-estimator horizon actually used (default: two desired
+        gaps, long enough that the residual +0.5/elapsed prior decays below
+        lambda_d/4 before the estimate is first reported)."""
+        if self.measurement_horizon_s is not None:
+            return self.measurement_horizon_s
+        return 2.0 * self.desired_gap_s()

@@ -1,0 +1,57 @@
+"""§4 practical extensions factored out for independent testing.
+
+* :class:`ReceptionFilter` — the fixed-transmission-power rule: transmit at
+  full power, react only to frames whose received signal strength exceeds
+  the threshold S_th equivalent to the probing range R_p.
+* :func:`overlap_should_sleep` — the working-node overlap-resolution rule:
+  when two working nodes hear each other's REPLYs, the one that has been
+  working for *less* time goes back to sleep, stabilizing the topology in
+  favor of incumbent workers.
+"""
+
+from __future__ import annotations
+
+from ..net.radio import RadioModel
+from .config import PEASConfig
+
+__all__ = ["ReceptionFilter", "overlap_should_sleep"]
+
+
+class ReceptionFilter:
+    """Decides whether a received frame counts as "within probing range".
+
+    In variable-power mode (§2) frames are transmitted with power chosen to
+    reach exactly R_p, so everything received is in range and the filter
+    accepts unconditionally.  In fixed-power mode (§4) frames travel up to
+    the maximum range R_t and receivers apply the signal-strength threshold
+    rule instead.
+    """
+
+    def __init__(self, config: PEASConfig, radio: RadioModel) -> None:
+        self.fixed_power = config.fixed_power
+        if self.fixed_power:
+            self.threshold = radio.threshold_for_range(config.probe_range_m)
+            self.tx_range = radio.max_range_m
+        else:
+            self.threshold = 0.0
+            self.tx_range = radio.validate_tx_range(config.probe_range_m)
+
+    def accepts(self, rssi: float) -> bool:
+        """True iff a frame with this signal strength is treated as coming
+        from within the probing range."""
+        if not self.fixed_power:
+            return True
+        return rssi >= self.threshold
+
+
+def overlap_should_sleep(own_working_duration: float, peer_working_duration: float) -> bool:
+    """§4: a working node hearing a working peer's REPLY sleeps iff its own
+    T_w is strictly less than the sender's.
+
+    Strict comparison means two exactly-tied workers both stay up (ties are
+    measure-zero with continuous start times), and the asymmetry guarantees
+    the pair can never turn each other off simultaneously.
+    """
+    if own_working_duration < 0 or peer_working_duration < 0:
+        raise ValueError("working durations must be nonnegative")
+    return own_working_duration < peer_working_duration

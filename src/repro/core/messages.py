@@ -1,0 +1,66 @@
+"""PEAS control-plane message payloads.
+
+Both messages fit in the paper's 25-byte frames (§5.1).  The REPLY carries
+exactly the feedback the Adaptive Sleeping algorithm needs (§2.2) plus the
+working duration T_w used by the §4 overlap-resolution rule:
+
+* ``measured_rate`` — the working node's current aggregate-rate measurement
+  lambda-hat (``None`` until its first k-PROBE window completes);
+* ``desired_rate`` — lambda_d, echoed so probers need no global config;
+* ``working_duration`` — how long the sender has been working (T_w).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+__all__ = ["ProbeMessage", "ReplyMessage", "PROBE_KIND", "REPLY_KIND"]
+
+PROBE_KIND = "PROBE"
+REPLY_KIND = "REPLY"
+
+
+@dataclass(frozen=True)
+class ProbeMessage:
+    """Payload of a PROBE broadcast.
+
+    ``wakeup_seq`` identifies the wakeup this PROBE belongs to and
+    ``probe_index`` its position among the wakeup's repeated transmissions,
+    letting working nodes count a multi-PROBE wakeup once when measuring
+    the aggregate probing rate.
+    """
+
+    prober_id: Hashable
+    wakeup_seq: int
+    probe_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wakeup_seq < 0 or self.probe_index < 0:
+            raise ValueError("wakeup_seq and probe_index must be nonnegative")
+
+    @property
+    def wakeup_key(self) -> tuple:
+        """Identity of the originating wakeup (for measurement dedup)."""
+        return (self.prober_id, self.wakeup_seq)
+
+
+@dataclass(frozen=True)
+class ReplyMessage:
+    """Payload of a REPLY broadcast from a working node."""
+
+    worker_id: Hashable
+    measured_rate: Optional[float]
+    desired_rate: float
+    working_duration: float
+    #: The wakeup this REPLY answers (tracing only; REPLYs are broadcast and
+    #: any prober that hears one learns a worker is within range).
+    answering: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.measured_rate is not None and self.measured_rate <= 0:
+            raise ValueError("measured_rate must be positive when present")
+        if self.desired_rate <= 0:
+            raise ValueError("desired_rate must be positive")
+        if self.working_duration < 0:
+            raise ValueError("working_duration must be nonnegative")

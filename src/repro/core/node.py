@@ -1,0 +1,369 @@
+"""The PEAS node: a state machine over Sleeping / Probing / Working (§2).
+
+Lifecycle (Figure 1 of the paper, plus §4 extensions):
+
+1. A node starts **Sleeping** with rate ``lambda = lambda_0``; it draws an
+   exponential sleeping time and turns its radio off (0.03 mW).
+2. On waking it enters **Probing**: it broadcasts ``num_probes`` PROBEs
+   spread over the listening window while idling (12 mW) to hear REPLYs.
+3. At the end of the window:
+   * if any REPLY was heard, a working node exists within the probing range
+     — the node adapts its rate from the REPLY's lambda-hat feedback
+     (eq. 2) and goes back to Sleeping;
+   * otherwise it enters **Working** and stays up until it dies (battery or
+     injected failure) or is turned off by §4 overlap resolution.
+4. A **Working** node answers each PROBE with a REPLY after a random backoff,
+   maintains the k-interval aggregate-rate estimator, and (if enabled)
+   yields to longer-working peers whose REPLYs it overhears.
+
+Energy: mode transitions drive the battery's continuous draw; the channel's
+energy hook charges per-frame tx/rx costs; the prober's listening window is
+attributed to the ``probe_idle`` overhead category (Table 1 accounting).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Optional
+
+from ..energy import NodeBattery, RadioMode
+from ..net import PACKET_SIZE_BYTES, Packet
+from ..net.mac import probe_arrival_offset, probe_offsets, reply_phase
+from ..net.channel import BroadcastChannel
+from ..net.field import Point
+from ..sim import CounterSet, Simulator, Timer
+from .adaptive_sleep import RateEstimator, sleep_duration, updated_rate
+from .config import PEASConfig
+from .extensions import ReceptionFilter, overlap_should_sleep
+from .messages import PROBE_KIND, REPLY_KIND, ProbeMessage, ReplyMessage
+from .states import DeathCause, NodeMode, check_transition
+
+__all__ = ["PEASNode", "NodeHooks"]
+
+
+@dataclass
+class NodeHooks:
+    """Observer callbacks the orchestrator wires into each node."""
+
+    on_working_start: Callable[["PEASNode"], None]
+    on_working_stop: Callable[["PEASNode", str], None]
+    on_death: Callable[["PEASNode", DeathCause], None]
+
+    @staticmethod
+    def noop() -> "NodeHooks":
+        return NodeHooks(
+            on_working_start=lambda node: None,
+            on_working_stop=lambda node, reason: None,
+            on_death=lambda node, cause: None,
+        )
+
+
+class PEASNode:
+    """One sensor running PEAS.  See module docstring for the lifecycle."""
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        position: Point,
+        sim: Simulator,
+        channel: BroadcastChannel,
+        config: PEASConfig,
+        battery: NodeBattery,
+        rng: random.Random,
+        reception_filter: ReceptionFilter,
+        hooks: Optional[NodeHooks] = None,
+        counters: Optional[CounterSet] = None,
+        anchor: bool = False,
+    ) -> None:
+        self._node_id = node_id
+        self._position = position
+        self.sim = sim
+        self.channel = channel
+        self.config = config
+        self.battery = battery
+        self.rng = rng
+        self.filter = reception_filter
+        self.hooks = hooks if hooks is not None else NodeHooks.noop()
+        self.counters = counters if counters is not None else CounterSet()
+
+        #: Anchored nodes model the externally powered source/sink stations:
+        #: they start working immediately, never sleep, never yield to
+        #: overlap resolution and are not valid failure-injection targets.
+        self.anchor = anchor
+        self.mode = NodeMode.SLEEPING
+        self.rate_hz = config.initial_rate_hz
+        self.death_cause: Optional[DeathCause] = None
+        self.work_started_at: Optional[float] = None
+        self.wakeup_count = 0
+        self._wakeup_seq = -1
+        self.estimator: Optional[RateEstimator] = None
+        self._pending_replies: List[ReplyMessage] = []
+        self._reply_busy_until = -1.0
+
+        self._sleep_timer = Timer(sim, self._wake, label="wake")
+        self._window_timer = Timer(sim, self._end_probe_window, label="probe-window")
+        self._death_timer = Timer(sim, self._die, label="depletion")
+        self._probe_airtime = channel.radio.airtime(PACKET_SIZE_BYTES)
+
+    # ----------------------------------------------------- channel endpoint
+    @property
+    def node_id(self) -> Hashable:
+        return self._node_id
+
+    @property
+    def position(self) -> Point:
+        return self._position
+
+    def is_listening(self) -> bool:
+        return self.mode in (NodeMode.PROBING, NodeMode.WORKING)
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def alive(self) -> bool:
+        return self.mode is not NodeMode.DEAD
+
+    @property
+    def working_duration(self) -> float:
+        """T_w of §4: how long this node has been working (0 if not working)."""
+        if self.mode is not NodeMode.WORKING or self.work_started_at is None:
+            return 0.0
+        return self.sim.now - self.work_started_at
+
+    def start(self) -> None:
+        """Begin operation: ordinary nodes sleep with their initial rate
+        lambda_0; anchored stations go straight to Working."""
+        if self.anchor:
+            self.battery.set_mode(self.sim.now, RadioMode.IDLE)
+            check_transition(self.mode, NodeMode.PROBING)
+            self.mode = NodeMode.PROBING  # transient hop to satisfy Figure 1
+            self._start_working()
+            return
+        self.battery.set_mode(self.sim.now, RadioMode.SLEEP)
+        self._schedule_sleep()
+        self._reschedule_death()
+
+    def fail(self) -> None:
+        """Kill the node by injected failure (§5.3)."""
+        if self.anchor:
+            raise ValueError("anchored stations cannot be failure targets")
+        self._die(DeathCause.FAILURE)
+
+    # --------------------------------------------------------------- wakeup
+    def _schedule_sleep(self) -> None:
+        self._sleep_timer.start(sleep_duration(self.rng, self.rate_hz))
+
+    def _wake(self) -> None:
+        if self.mode is not NodeMode.SLEEPING:
+            return
+        check_transition(self.mode, NodeMode.PROBING)
+        self.mode = NodeMode.PROBING
+        self.battery.set_mode(self.sim.now, RadioMode.IDLE)
+        self.wakeup_count += 1
+        self._wakeup_seq += 1
+        self.counters.incr("wakeups")
+        self._pending_replies = []
+        offsets = probe_offsets(
+            self.config.num_probes, self._probe_airtime, self.config.probe_gap_s
+        )
+        for index, offset in enumerate(offsets):
+            self.sim.schedule(offset, self._send_probe, index, label="probe-tx")
+        self._window_timer.start(self.config.probe_window_s)
+        self._reschedule_death()
+
+    def _send_probe(self, index: int) -> None:
+        if self.mode is not NodeMode.PROBING:
+            return
+        message = ProbeMessage(
+            prober_id=self._node_id, wakeup_seq=self._wakeup_seq, probe_index=index
+        )
+        packet = Packet(kind=PROBE_KIND, sender=self._node_id, payload=message)
+        self.channel.transmit(self._node_id, packet, self.filter.tx_range)
+        self.counters.incr("probes_sent")
+
+    def _end_probe_window(self) -> None:
+        if self.mode is not NodeMode.PROBING:
+            return
+        # Attribute the listening window's idle draw to protocol overhead
+        # (already consumed via the IDLE mode; attribution only, Table 1).
+        self.battery.attribute(
+            "probe_idle", self.battery.profile.idle_w * self.config.probe_window_s
+        )
+        if self._pending_replies:
+            self._adapt_rate(self._pending_replies)
+            self.counters.incr("sleeps_after_reply")
+            self._go_to_sleep()
+        else:
+            self._start_working()
+
+    def _adapt_rate(self, replies: List[ReplyMessage]) -> None:
+        """Apply eq. 2 using the REPLY feedback; §4's rule picks the largest
+        lambda-hat when several working neighbors answered."""
+        informative = [r for r in replies if r.measured_rate is not None]
+        if not informative:
+            return  # no measurement yet anywhere: keep the current rate
+        if self.config.adapt_to_largest:
+            chosen = max(informative, key=lambda r: r.measured_rate)
+        else:
+            chosen = informative[0]
+        self.rate_hz = updated_rate(
+            self.rate_hz,
+            chosen.measured_rate,
+            chosen.desired_rate,
+            self.config.min_rate_hz,
+            self.config.max_rate_hz,
+            self.config.max_adjust_factor,
+        )
+        self.counters.incr("rate_adaptations")
+
+    def _go_to_sleep(self) -> None:
+        check_transition(self.mode, NodeMode.SLEEPING)
+        self.mode = NodeMode.SLEEPING
+        self.battery.set_mode(self.sim.now, RadioMode.SLEEP)
+        self._schedule_sleep()
+        self._reschedule_death()
+
+    # -------------------------------------------------------------- working
+    def _start_working(self) -> None:
+        check_transition(self.mode, NodeMode.WORKING)
+        self.mode = NodeMode.WORKING
+        self.work_started_at = self.sim.now
+        self.estimator = RateEstimator(
+            self.config.measurement_window_k,
+            self.config.probe_dedupe_window,
+            mode=self.config.measurement_mode,
+            min_horizon_s=self.config.effective_horizon_s(),
+            start_time=self.sim.now,
+        )
+        self.counters.incr("work_starts")
+        self._reschedule_death()
+        self.hooks.on_working_start(self)
+
+    def _overlap_turnoff(self) -> None:
+        """§4: yield to a longer-working peer and go back to sleep."""
+        self.counters.incr("overlap_turnoffs")
+        self.hooks.on_working_stop(self, "overlap")
+        self.work_started_at = None
+        self.estimator = None
+        self._go_to_sleep()
+
+    def _send_reply(
+        self, answering: tuple, feedback: Optional[float], deadline: float
+    ) -> None:
+        if self.mode is not NodeMode.WORKING:
+            return
+        # CSMA: defer while the medium is locally busy; give up (rather than
+        # transmit uselessly) once the prober's listening window has closed.
+        now = self.sim.now
+        if self.channel.is_busy(self._node_id, now):
+            retry = self.channel.busy_until(self._node_id) + self.rng.uniform(
+                0.0, 2.0 * self.config.probe_gap_s
+            )
+            if retry + self._probe_airtime > deadline:
+                self.counters.incr("replies_suppressed")
+                return
+            self._reply_busy_until = max(self._reply_busy_until, retry + self._probe_airtime)
+            self.sim.schedule(
+                retry - now, self._send_reply, answering, feedback, deadline,
+                label="reply-tx",
+            )
+            return
+        message = ReplyMessage(
+            worker_id=self._node_id,
+            measured_rate=feedback,
+            desired_rate=self.config.desired_rate_hz,
+            working_duration=self.working_duration,
+            answering=answering,
+        )
+        packet = Packet(kind=REPLY_KIND, sender=self._node_id, payload=message)
+        self.channel.transmit(self._node_id, packet, self.filter.tx_range)
+        self.counters.incr("replies_sent")
+
+    # ------------------------------------------------------------ reception
+    def on_packet(self, packet: Packet, rssi: float, dist: float) -> None:
+        if not self.filter.accepts(rssi):
+            return  # fixed-power mode: sender is beyond the probing range
+        if packet.kind == PROBE_KIND:
+            self._on_probe(packet.payload)
+        elif packet.kind == REPLY_KIND:
+            self._on_reply(packet.payload)
+
+    def _on_probe(self, message: ProbeMessage) -> None:
+        if self.mode is not NodeMode.WORKING:
+            return  # only working nodes answer PROBEs
+        assert self.estimator is not None
+        # Snapshot the estimate BEFORE counting this arrival: by PASTA the
+        # arriving probe sees the time-average window state, whereas an
+        # estimate that included itself would be biased high by ~1/age —
+        # dominant for young workers and amplified by the §4 max rule.
+        feedback = self.estimator.estimate(self.sim.now)
+        self.estimator.on_probe(self.sim.now, message.wakeup_key)
+        # Place the REPLY uniformly in the prober's reply phase, keeping
+        # this node's own repeated REPLYs separated (half-duplex radio) and
+        # never transmitting past the prober's listening window.
+        now = self.sim.now
+        airtime = self._probe_airtime
+        config = self.config
+        phase_lo, phase_hi = reply_phase(
+            config.num_probes, airtime, config.probe_gap_s,
+            config.probe_window_s, config.reply_guard_s,
+        )
+        est_wakeup = now - probe_arrival_offset(
+            message.probe_index, airtime, config.probe_gap_s
+        )
+        target = est_wakeup + self.rng.uniform(phase_lo, phase_hi)
+        target = max(target, now, self._reply_busy_until + config.probe_gap_s)
+        deadline = est_wakeup + phase_hi
+        if target > deadline:
+            self.counters.incr("replies_suppressed")
+            return
+        self._reply_busy_until = target + airtime
+        self.sim.schedule(
+            target - now, self._send_reply, message.wakeup_key, feedback, deadline,
+            label="reply-tx",
+        )
+
+    def _on_reply(self, message: ReplyMessage) -> None:
+        if self.mode is NodeMode.PROBING:
+            self._pending_replies.append(message)
+        elif self.mode is NodeMode.WORKING and self.config.overlap_resolution:
+            if self.anchor:
+                return
+            if overlap_should_sleep(self.working_duration, message.working_duration):
+                self._overlap_turnoff()
+
+    # ---------------------------------------------------------------- death
+    def on_energy_charged(self) -> None:
+        """Called by the orchestrator's energy hook after a frame charge."""
+        if self.mode is NodeMode.DEAD:
+            return
+        if self.battery.depleted(self.sim.now):
+            self._die(DeathCause.ENERGY)
+        else:
+            self._reschedule_death()
+
+    def _reschedule_death(self) -> None:
+        ttd = self.battery.time_to_depletion(self.sim.now)
+        if ttd is None:
+            self._death_timer.cancel()
+        else:
+            self._death_timer.start(ttd)
+
+    def _die(self, cause: DeathCause = DeathCause.ENERGY) -> None:
+        if self.mode is NodeMode.DEAD:
+            return
+        was_working = self.mode is NodeMode.WORKING
+        check_transition(self.mode, NodeMode.DEAD)
+        self.mode = NodeMode.DEAD
+        self.death_cause = cause
+        self.battery.set_mode(self.sim.now, RadioMode.OFF)
+        self._sleep_timer.cancel()
+        self._window_timer.cancel()
+        self._death_timer.cancel()
+        self.channel.detach(self._node_id)
+        self.counters.incr(
+            "deaths_energy" if cause is DeathCause.ENERGY else "deaths_failure"
+        )
+        if was_working:
+            self.hooks.on_working_stop(self, "death")
+        self.hooks.on_death(self, cause)

@@ -1,0 +1,44 @@
+"""Node operation modes and the legal transitions between them (§2.1 Fig 1).
+
+Each PEAS node is in exactly one of three live modes — Sleeping, Probing,
+Working — plus the terminal Dead state.  The transition table mirrors the
+paper's Figure 1, extended with the §4 overlap-resolution edge
+(Working -> Sleeping) and death edges from every live mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet
+
+__all__ = ["NodeMode", "DeathCause", "LEGAL_TRANSITIONS", "check_transition"]
+
+
+class NodeMode(enum.Enum):
+    SLEEPING = "sleeping"
+    PROBING = "probing"
+    WORKING = "working"
+    DEAD = "dead"
+
+
+class DeathCause(enum.Enum):
+    """Why a node died: battery depletion vs injected unexpected failure."""
+
+    ENERGY = "energy"
+    FAILURE = "failure"
+
+
+#: Figure 1 of the paper plus §4's working->sleeping overlap turnoff and
+#: death edges.
+LEGAL_TRANSITIONS: Dict[NodeMode, FrozenSet[NodeMode]] = {
+    NodeMode.SLEEPING: frozenset({NodeMode.PROBING, NodeMode.DEAD}),
+    NodeMode.PROBING: frozenset({NodeMode.SLEEPING, NodeMode.WORKING, NodeMode.DEAD}),
+    NodeMode.WORKING: frozenset({NodeMode.SLEEPING, NodeMode.DEAD}),
+    NodeMode.DEAD: frozenset(),
+}
+
+
+def check_transition(current: NodeMode, target: NodeMode) -> None:
+    """Raise ``ValueError`` if ``current -> target`` is not a legal edge."""
+    if target not in LEGAL_TRANSITIONS[current]:
+        raise ValueError(f"illegal mode transition {current.value} -> {target.value}")

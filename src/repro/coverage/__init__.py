@@ -1,0 +1,6 @@
+"""K-coverage computation and coverage-lifetime tracking (§5.1 metrics)."""
+
+from .grid import CoverageGrid
+from .tracker import CoverageTracker, lifetime_from_series
+
+__all__ = ["CoverageGrid", "CoverageTracker", "lifetime_from_series"]

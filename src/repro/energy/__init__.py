@@ -1,0 +1,16 @@
+"""Energy substrate: power model, per-node batteries, overhead accounting."""
+
+from .accounting import OVERHEAD_CATEGORIES, EnergyReport, summarize_energy
+from .battery import NodeBattery
+from .model import MOTE_PROFILE, PowerProfile, RadioMode, draw_initial_energy
+
+__all__ = [
+    "PowerProfile",
+    "RadioMode",
+    "MOTE_PROFILE",
+    "draw_initial_energy",
+    "NodeBattery",
+    "EnergyReport",
+    "OVERHEAD_CATEGORIES",
+    "summarize_energy",
+]

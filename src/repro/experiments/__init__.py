@@ -1,0 +1,66 @@
+"""Experiment harness: scenarios, runner, sweeps and the paper's artifacts."""
+
+from .metrics import MeanStd, RunResult, aggregate_lifetimes, aggregate_values
+from .paper import (
+    BASELINE_FAILURE_RATE,
+    DEPLOYMENT_NUMBERS,
+    FAILURE_RATES,
+    bench_processes,
+    bench_seeds,
+    deployment_scenarios,
+    failure_scenarios,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    fig13_rows,
+    fig14_rows,
+    get_deployment_results,
+    get_failure_results,
+    table1_rows,
+)
+from .report import render_report, sparkline, timeline_chart
+from .runner import build_network, run_scenario
+from .serialize import load_results, result_from_dict, result_to_dict, save_results
+from .scenario import Scenario
+from .sweep import expand_seeds, group_by, run_sweep
+from .tables import fmt, format_series, format_table
+
+__all__ = [
+    "Scenario",
+    "run_scenario",
+    "build_network",
+    "RunResult",
+    "MeanStd",
+    "aggregate_values",
+    "aggregate_lifetimes",
+    "expand_seeds",
+    "run_sweep",
+    "group_by",
+    "format_table",
+    "format_series",
+    "fmt",
+    "render_report",
+    "sparkline",
+    "timeline_chart",
+    "result_to_dict",
+    "result_from_dict",
+    "save_results",
+    "load_results",
+    "DEPLOYMENT_NUMBERS",
+    "FAILURE_RATES",
+    "BASELINE_FAILURE_RATE",
+    "bench_seeds",
+    "bench_processes",
+    "deployment_scenarios",
+    "failure_scenarios",
+    "get_deployment_results",
+    "get_failure_results",
+    "fig9_rows",
+    "fig10_rows",
+    "fig11_rows",
+    "table1_rows",
+    "fig12_rows",
+    "fig13_rows",
+    "fig14_rows",
+]

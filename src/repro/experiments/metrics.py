@@ -1,0 +1,79 @@
+"""Result containers and aggregation for simulation runs.
+
+A :class:`RunResult` captures everything §5 reports about one run;
+:func:`aggregate` folds repeated seeds into mean/std summaries the way the
+paper averages each data point over 5 simulation runs (§5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["RunResult", "MeanStd", "aggregate_values", "aggregate_lifetimes"]
+
+
+@dataclass
+class RunResult:
+    """Metrics of one simulation run."""
+
+    num_nodes: int
+    seed: int
+    failure_rate_per_5000s: float
+    end_time: float
+    #: K -> K-coverage lifetime in seconds (None: threshold never reached)
+    coverage_lifetimes: Dict[int, Optional[float]] = field(default_factory=dict)
+    delivery_lifetime: Optional[float] = None
+    total_wakeups: int = 0
+    energy_total_j: float = 0.0
+    energy_overhead_j: float = 0.0
+    #: network-wide energy by accounting category (probe_tx, data_rx, ...)
+    energy_by_category: Dict[str, float] = field(default_factory=dict)
+    failures_injected: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+    channel_counters: Dict[str, int] = field(default_factory=dict)
+    #: optional raw series (coverage over time etc.), absent in sweeps
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: free-form scalar extras (gap statistics, baseline-specific metrics)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def energy_overhead_ratio(self) -> float:
+        if self.energy_total_j <= 0:
+            return 0.0
+        return self.energy_overhead_j / self.energy_total_j
+
+    @property
+    def failure_fraction(self) -> float:
+        return self.failures_injected / self.num_nodes if self.num_nodes else 0.0
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """Mean and (population) standard deviation of a metric across seeds."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".1f"
+        return f"{self.mean:{spec}} ± {self.std:{spec}}"
+
+
+def aggregate_values(values: Sequence[Optional[float]]) -> Optional[MeanStd]:
+    """Mean/std over the non-missing values; ``None`` if all are missing."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    mean = sum(present) / len(present)
+    variance = sum((v - mean) ** 2 for v in present) / len(present)
+    return MeanStd(mean=mean, std=math.sqrt(variance), n=len(present))
+
+
+def aggregate_lifetimes(
+    results: Sequence[RunResult], k: int
+) -> Optional[MeanStd]:
+    """Aggregate the K-coverage lifetime across repeated-seed runs."""
+    return aggregate_values([r.coverage_lifetimes.get(k) for r in results])

@@ -1,0 +1,98 @@
+"""JSON (de)serialization of run results.
+
+Sweeps are expensive; persisting their results lets analyses and reports
+run without re-simulating.  ``RunResult`` round-trips losslessly through
+plain JSON-compatible dictionaries (series included).
+
+>>> payload = result_to_dict(result)          # doctest: +SKIP
+>>> json.dump(payload, open("run.json", "w")) # doctest: +SKIP
+>>> restored = result_from_dict(payload)      # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from .metrics import RunResult
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_results",
+    "load_results",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> Dict:
+    """A JSON-compatible dictionary capturing the full result."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "num_nodes": result.num_nodes,
+        "seed": result.seed,
+        "failure_rate_per_5000s": result.failure_rate_per_5000s,
+        "end_time": result.end_time,
+        # JSON keys are strings; keep K explicit.
+        "coverage_lifetimes": {
+            str(k): v for k, v in result.coverage_lifetimes.items()
+        },
+        "delivery_lifetime": result.delivery_lifetime,
+        "total_wakeups": result.total_wakeups,
+        "energy_total_j": result.energy_total_j,
+        "energy_overhead_j": result.energy_overhead_j,
+        "energy_by_category": dict(result.energy_by_category),
+        "failures_injected": result.failures_injected,
+        "counters": dict(result.counters),
+        "channel_counters": dict(result.channel_counters),
+        "series": {
+            name: [[t, v] for t, v in samples]
+            for name, samples in result.series.items()
+        },
+        "extras": dict(result.extras),
+    }
+
+
+def result_from_dict(payload: Dict) -> RunResult:
+    """Inverse of :func:`result_to_dict` (validates the schema version)."""
+    schema = payload.get("schema")
+    if schema != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported result schema {schema!r}")
+    return RunResult(
+        num_nodes=payload["num_nodes"],
+        seed=payload["seed"],
+        failure_rate_per_5000s=payload["failure_rate_per_5000s"],
+        end_time=payload["end_time"],
+        coverage_lifetimes={
+            int(k): v for k, v in payload["coverage_lifetimes"].items()
+        },
+        delivery_lifetime=payload["delivery_lifetime"],
+        total_wakeups=payload["total_wakeups"],
+        energy_total_j=payload["energy_total_j"],
+        energy_overhead_j=payload["energy_overhead_j"],
+        energy_by_category=dict(payload.get("energy_by_category", {})),
+        failures_injected=payload["failures_injected"],
+        counters=dict(payload.get("counters", {})),
+        channel_counters=dict(payload.get("channel_counters", {})),
+        series={
+            name: [(t, v) for t, v in samples]
+            for name, samples in payload.get("series", {}).items()
+        },
+        extras=dict(payload.get("extras", {})),
+    )
+
+
+def save_results(results: Iterable[RunResult], path: Union[str, Path]) -> None:
+    """Write a list of results to a JSON file."""
+    payload = [result_to_dict(result) for result in results]
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_results(path: Union[str, Path]) -> List[RunResult]:
+    """Read back a list of results written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError("result file must contain a JSON list")
+    return [result_from_dict(entry) for entry in payload]

@@ -1,0 +1,62 @@
+"""Plain-text table/series rendering for benchmark output.
+
+Every benchmark prints the same rows/series the paper's tables and figures
+report, via these helpers, so the harness output can be compared against
+the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "fmt"]
+
+
+def fmt(value: object, spec: str = ".1f") -> str:
+    """Render one cell: None -> '-', numbers via ``spec``, rest via str()."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        try:
+            return f"{value:{spec}}"
+        except (TypeError, ValueError):
+            return str(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table with right-aligned numeric-ish columns."""
+    materialized: List[List[str]] = [
+        [cell if isinstance(cell, str) else fmt(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Two-column rendering of a figure's (x, y) series."""
+    return format_table([x_label, y_label], points, title=title)

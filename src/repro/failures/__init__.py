@@ -1,0 +1,5 @@
+"""Failure injection substrate (random unexpected node deaths, §5.3)."""
+
+from .injector import FailureInjector, per_5000s
+
+__all__ = ["FailureInjector", "per_5000s"]

@@ -1,0 +1,244 @@
+"""Shared broadcast wireless channel with collisions and random loss.
+
+This is the packet-level substrate beneath PEAS's control plane.  The model
+captures the phenomena the paper's design explicitly reacts to:
+
+* **broadcast within a chosen range** — PROBE/REPLY are local broadcasts
+  whose reach is the probing range R_p (variable power, §2) or the maximum
+  range R_t (fixed power, §4);
+* **receiver-side collisions** — two frames overlapping in time at a
+  listening receiver destroy each other there (no capture), which is why
+  working nodes randomize their REPLY backoff (§2.1) and probing nodes
+  spread repeated PROBEs (§4);
+* **half duplex** — a node transmitting a frame cannot simultaneously
+  receive one;
+* **i.i.d. random loss** — the §4 loss-compensation experiments inject
+  loss rates up to ~10-20 %.
+
+Energy is charged through an optional hook so the energy model can attribute
+per-frame costs to overhead categories (Table 1 accounting).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Protocol
+
+from ..sim import CounterSet, Simulator
+from ..sim.events import PRIORITY_HIGH
+from .field import Point, distance
+from .packet import Packet
+from .radio import RadioModel
+from .spatial import SpatialGrid
+
+__all__ = ["BroadcastChannel", "RadioEndpoint", "Reception"]
+
+#: energy hook signature: (node_id, "tx" | "rx", airtime_seconds, packet)
+EnergyHook = Callable[[Hashable, str, float, Packet], None]
+
+
+class RadioEndpoint(Protocol):
+    """What the channel needs to know about an attached node."""
+
+    @property
+    def node_id(self) -> Hashable: ...
+
+    @property
+    def position(self) -> Point: ...
+
+    def is_listening(self) -> bool:
+        """True iff the node's radio is on and able to receive right now."""
+        ...
+
+    def on_packet(self, packet: Packet, rssi: float, dist: float) -> None:
+        """Deliver a successfully received frame."""
+        ...
+
+
+@dataclass
+class Reception:
+    """An in-flight frame as observed by one receiver."""
+
+    packet: Packet
+    end_time: float
+    dist: float
+    corrupted: bool = False
+
+
+class BroadcastChannel:
+    """The shared medium connecting all node radios.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    grid:
+        Spatial index over *all* node positions (nodes are stationary).
+    radio:
+        Physical-layer model (airtime, RSSI).
+    loss_rate:
+        Independent per-link frame loss probability in [0, 1).
+    rng:
+        Stream for loss draws and RSSI irregularity.
+    energy_hook:
+        Optional callback charging tx/rx energy per frame.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        grid: SpatialGrid,
+        radio: RadioModel,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        energy_hook: Optional[EnergyHook] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.grid = grid
+        self.radio = radio
+        self.loss_rate = loss_rate
+        self.rng = rng if rng is not None else random.Random(0)
+        self.energy_hook = energy_hook
+        self.counters = CounterSet()
+        self._endpoints: Dict[Hashable, RadioEndpoint] = {}
+        #: receiver id -> list of in-flight receptions at that receiver
+        self._incoming: Dict[Hashable, List[Reception]] = {}
+        #: node id -> absolute time its own transmission ends (half duplex)
+        self._transmitting_until: Dict[Hashable, float] = {}
+
+    # ---------------------------------------------------------- attachment
+    def attach(self, endpoint: RadioEndpoint) -> None:
+        node_id = endpoint.node_id
+        if node_id in self._endpoints:
+            raise KeyError(f"endpoint {node_id!r} already attached")
+        self._endpoints[node_id] = endpoint
+        if node_id not in self.grid:
+            self.grid.insert(node_id, endpoint.position)
+
+    def detach(self, node_id: Hashable) -> None:
+        """Remove a (dead) node from the medium entirely."""
+        self._endpoints.pop(node_id, None)
+        self._incoming.pop(node_id, None)
+        if node_id in self.grid:
+            self.grid.remove(node_id)
+
+    def endpoint(self, node_id: Hashable) -> RadioEndpoint:
+        return self._endpoints[node_id]
+
+    # ------------------------------------------------------- carrier sense
+    def busy_until(self, node_id: Hashable) -> float:
+        """Latest end time of any activity this node can sense: its own
+        transmissions plus every frame currently arriving at it.  Returns a
+        time in the past when the medium is locally idle."""
+        busy = self._transmitting_until.get(node_id, 0.0)
+        for reception in self._incoming.get(node_id, ()):
+            busy = max(busy, reception.end_time)
+        return busy
+
+    def is_busy(self, node_id: Hashable, now: float) -> bool:
+        """CSMA carrier sense: is the medium busy as heard by this node?"""
+        return self.busy_until(node_id) > now
+
+    # -------------------------------------------------------- transmission
+    def transmit(self, sender_id: Hashable, packet: Packet, tx_range: float) -> None:
+        """Broadcast ``packet`` from ``sender_id`` reaching ``tx_range`` meters.
+
+        Delivery (or corruption) is resolved when the frame's airtime ends.
+        """
+        tx_range = self.radio.validate_tx_range(tx_range)
+        sender = self._endpoints.get(sender_id)
+        if sender is None:
+            raise KeyError(f"unknown sender {sender_id!r}")
+        airtime = self.radio.airtime(packet.size_bytes)
+        now = self.sim.now
+        end = now + airtime
+        self.counters.incr("frames_sent")
+
+        # Half duplex: transmitting corrupts anything the sender was receiving
+        # and blocks reception until the transmission ends.
+        self._transmitting_until[sender_id] = max(
+            end, self._transmitting_until.get(sender_id, 0.0)
+        )
+        for reception in self._incoming.get(sender_id, ()):
+            reception.corrupted = True
+
+        if self.energy_hook is not None:
+            self.energy_hook(sender_id, "tx", airtime, packet)
+
+        origin = sender.position
+        receivers: List[Hashable] = []
+        for node_id in self.grid.within(origin, tx_range):
+            if node_id == sender_id:
+                continue
+            endpoint = self._endpoints.get(node_id)
+            if endpoint is None or not endpoint.is_listening():
+                continue
+            if self._transmitting_until.get(node_id, 0.0) > now:
+                # Receiver is itself on the air: frame is lost to it.
+                self.counters.incr("half_duplex_losses")
+                continue
+            reception = Reception(
+                packet=packet,
+                end_time=end,
+                dist=distance(origin, endpoint.position),
+            )
+            active = self._incoming.setdefault(node_id, [])
+            if active:
+                # Overlap at this receiver: everything involved is corrupted.
+                reception.corrupted = True
+                for other in active:
+                    if not other.corrupted:
+                        other.corrupted = True
+                        self.counters.incr("collisions")
+                self.counters.incr("collisions")
+            active.append(reception)
+            receivers.append(node_id)
+
+        self.sim.schedule(
+            airtime,
+            self._complete,
+            sender_id,
+            packet,
+            receivers,
+            priority=PRIORITY_HIGH,
+            label=f"rx:{packet.kind}",
+        )
+
+    # ---------------------------------------------------------- completion
+    def _complete(
+        self, sender_id: Hashable, packet: Packet, receivers: List[Hashable]
+    ) -> None:
+        for node_id in receivers:
+            active = self._incoming.get(node_id)
+            reception = None
+            if active:
+                for candidate in active:
+                    if candidate.packet.uid == packet.uid:
+                        reception = candidate
+                        break
+                if reception is not None:
+                    active.remove(reception)
+                if not active:
+                    self._incoming.pop(node_id, None)
+            if reception is None:
+                continue
+            endpoint = self._endpoints.get(node_id)
+            if endpoint is None or not endpoint.is_listening():
+                # Receiver died or slept mid-frame.
+                self.counters.incr("aborted_receptions")
+                continue
+            if self.energy_hook is not None:
+                self.energy_hook(
+                    node_id, "rx", self.radio.airtime(packet.size_bytes), packet
+                )
+            if reception.corrupted:
+                continue
+            if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+                self.counters.incr("random_losses")
+                continue
+            rssi = self.radio.rssi(reception.dist, self.rng)
+            self.counters.incr("frames_delivered")
+            endpoint.on_packet(packet, rssi, reception.dist)

@@ -1,0 +1,115 @@
+"""Node deployment generators.
+
+The paper's evaluation deploys nodes uniformly at random (§5.2) and its §4
+discussion ("Distribution of deployed nodes") argues that uneven deployments
+shorten system life because sparse regions die out first.  We provide the
+uniform generator used by all paper experiments plus grid-jitter and
+clustered (uneven) generators used by the deployment-distribution ablation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List
+
+from .field import Field, Point
+
+__all__ = [
+    "uniform_deployment",
+    "grid_deployment",
+    "clustered_deployment",
+    "corner_heavy_deployment",
+    "DEPLOYMENTS",
+]
+
+
+def uniform_deployment(field: Field, n: int, rng: random.Random) -> List[Point]:
+    """``n`` positions i.i.d. uniform over the field (the paper's default)."""
+    if n < 0:
+        raise ValueError("n must be nonnegative")
+    return [field.random_point(rng) for _ in range(n)]
+
+
+def grid_deployment(
+    field: Field, n: int, rng: random.Random, jitter: float = 0.25
+) -> List[Point]:
+    """Near-regular lattice of ``n`` nodes with per-node jitter.
+
+    ``jitter`` is the uniform displacement amplitude as a fraction of the
+    lattice spacing.  Used as a best-case "evenly deployed" comparator for
+    the §4 deployment-distribution discussion.
+    """
+    if n <= 0:
+        return []
+    aspect = field.width / field.height
+    ny = max(1, int(round(math.sqrt(n / aspect))))
+    nx = max(1, int(math.ceil(n / ny)))
+    dx = field.width / nx
+    dy = field.height / ny
+    points: List[Point] = []
+    for i in range(nx):
+        for j in range(ny):
+            if len(points) >= n:
+                break
+            x = (i + 0.5) * dx + rng.uniform(-jitter, jitter) * dx
+            y = (j + 0.5) * dy + rng.uniform(-jitter, jitter) * dy
+            points.append(field.clamp((x, y)))
+    return points
+
+
+def clustered_deployment(
+    field: Field,
+    n: int,
+    rng: random.Random,
+    clusters: int = 5,
+    spread_fraction: float = 0.12,
+) -> List[Point]:
+    """Uneven deployment: Gaussian clusters around random centers.
+
+    ``spread_fraction`` scales the cluster standard deviation relative to
+    the field diagonal.  Regions far from every cluster receive few nodes,
+    reproducing the §4 "uneven distribution" scenario.
+    """
+    if clusters <= 0:
+        raise ValueError("clusters must be positive")
+    centers = [field.random_point(rng) for _ in range(clusters)]
+    sigma = spread_fraction * math.hypot(field.width, field.height)
+    points: List[Point] = []
+    for _ in range(n):
+        cx, cy = centers[rng.randrange(clusters)]
+        points.append(
+            field.clamp((rng.gauss(cx, sigma), rng.gauss(cy, sigma)))
+        )
+    return points
+
+
+def corner_heavy_deployment(
+    field: Field, n: int, rng: random.Random, bias: float = 0.7
+) -> List[Point]:
+    """Uneven deployment biased toward the origin corner.
+
+    A ``bias`` fraction of nodes land in the origin quadrant; the rest are
+    uniform.  Exercises the case where the region near one corner (e.g. the
+    sink) is over-provisioned while the far corner starves.
+    """
+    if not 0.0 <= bias <= 1.0:
+        raise ValueError("bias must be in [0, 1]")
+    points: List[Point] = []
+    for _ in range(n):
+        if rng.random() < bias:
+            points.append(
+                (rng.uniform(0, field.width / 2), rng.uniform(0, field.height / 2))
+            )
+        else:
+            points.append(field.random_point(rng))
+    return points
+
+
+#: Registry used by scenario configuration (name -> generator).
+DEPLOYMENTS: Dict[str, Callable[..., List[Point]]] = {
+    "uniform": uniform_deployment,
+    "grid": grid_deployment,
+    "clustered": clustered_deployment,
+    "corner_heavy": corner_heavy_deployment,
+}

@@ -1,0 +1,78 @@
+"""Two-dimensional deployment field geometry.
+
+The paper's evaluation uses a 50 x 50 m^2 field (§5.2); the model here is a
+general axis-aligned rectangle with helpers for containment, sampling and
+distance computations used throughout the substrate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["Field", "Point", "distance", "distance_sq"]
+
+Point = Tuple[float, float]
+
+
+def distance_sq(a: Point, b: Point) -> float:
+    """Squared Euclidean distance (avoids sqrt in hot paths)."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.sqrt(distance_sq(a, b))
+
+
+@dataclass(frozen=True)
+class Field:
+    """An axis-aligned rectangular deployment area ``[0,width] x [0,height]``."""
+
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"field dimensions must be positive: {self.width}x{self.height}")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, point: Point) -> bool:
+        x, y = point
+        return 0.0 <= x <= self.width and 0.0 <= y <= self.height
+
+    def clamp(self, point: Point) -> Point:
+        x, y = point
+        return (min(max(x, 0.0), self.width), min(max(y, 0.0), self.height))
+
+    def random_point(self, rng: random.Random) -> Point:
+        return (rng.uniform(0.0, self.width), rng.uniform(0.0, self.height))
+
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """Corners in order: origin, right, far, top."""
+        return (
+            (0.0, 0.0),
+            (self.width, 0.0),
+            (self.width, self.height),
+            (0.0, self.height),
+        )
+
+    def grid_points(self, resolution: float) -> Iterator[Point]:
+        """Lattice of sample points at the given spacing, inclusive of 0."""
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        nx = int(math.floor(self.width / resolution)) + 1
+        ny = int(math.floor(self.height / resolution)) + 1
+        for ix in range(nx):
+            for iy in range(ny):
+                yield (ix * resolution, iy * resolution)
+
+    def __str__(self) -> str:
+        return f"{self.width:g}x{self.height:g}m field"

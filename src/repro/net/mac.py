@@ -1,0 +1,152 @@
+"""MAC-layer timing helpers: randomized backoffs and frame spreading.
+
+PEAS does not use a full contention MAC; instead it relies on randomized
+timing to keep its tiny control frames from colliding (§2.1, §4):
+
+* a working node waits "a small random period" before sending its REPLY;
+* a probing node transmits its repeated PROBEs "randomly spread over a
+  small time interval".
+
+These helpers centralize that timing logic so nodes and tests share one
+implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+__all__ = [
+    "reply_backoff",
+    "spread_transmissions",
+    "probe_offsets",
+    "probe_span",
+    "probe_arrival_offset",
+    "reply_phase",
+    "reply_delay",
+]
+
+
+def reply_backoff(rng: random.Random, window: float) -> float:
+    """Uniform REPLY backoff in ``[0, window)``.
+
+    ``window`` must leave room inside the prober's listening window for the
+    REPLY's own airtime; callers pass ``probe_window - airtime`` margins.
+    """
+    if window <= 0:
+        raise ValueError(f"backoff window must be positive, got {window}")
+    return rng.uniform(0.0, window)
+
+
+def spread_transmissions(
+    rng: random.Random, count: int, window: float, min_gap: float
+) -> List[float]:
+    """Offsets for ``count`` repeated frames spread over ``[0, window]``.
+
+    The first frame goes out immediately (offset 0) so a lossless probe
+    gets the fastest possible answer; subsequent frames are placed in
+    successive slots of the window with uniform jitter, always at least
+    ``min_gap`` (one frame airtime) apart so a node never overlaps itself.
+
+    >>> rng = random.Random(1)
+    >>> offsets = spread_transmissions(rng, 3, 0.06, 0.01)
+    >>> len(offsets), offsets[0]
+    (3, 0.0)
+    >>> all(b - a >= 0.01 - 1e-12 for a, b in zip(offsets, offsets[1:]))
+    True
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if count == 1:
+        return [0.0]
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if min_gap < 0:
+        raise ValueError("min_gap must be nonnegative")
+    if (count - 1) * min_gap > window:
+        raise ValueError(
+            f"cannot fit {count} frames with gap {min_gap} in window {window}"
+        )
+    offsets = [0.0]
+    slot = window / (count - 1)
+    for i in range(1, count):
+        low = max(offsets[-1] + min_gap, (i - 1) * slot)
+        high = max(low, min(i * slot, window - (count - 1 - i) * min_gap))
+        offsets.append(rng.uniform(low, high))
+    return offsets
+
+
+def probe_span(count: int, airtime: float, gap: float) -> float:
+    """Duration of a back-to-back PROBE burst: count frames with gaps."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if airtime <= 0 or gap < 0:
+        raise ValueError("airtime must be positive and gap nonnegative")
+    return count * airtime + (count - 1) * gap
+
+
+def probe_offsets(count: int, airtime: float, gap: float) -> List[float]:
+    """Deterministic transmit offsets for a wakeup's PROBE burst.
+
+    PROBEs go out back to back (one airtime plus a small inter-frame gap
+    apart) so the listening window splits cleanly into a probing phase and
+    a replying phase: workers never have to transmit while the prober is
+    still on the air, which a randomized spread cannot guarantee under the
+    half-duplex radio.
+
+    >>> probe_offsets(3, 0.010, 0.002)
+    [0.0, 0.012, 0.024]
+    """
+    probe_span(count, airtime, gap)  # validates
+    return [i * (airtime + gap) for i in range(count)]
+
+
+def reply_phase(
+    num_probes: int, airtime: float, gap: float, window: float, guard: float
+) -> "tuple[float, float]":
+    """(earliest, latest) REPLY transmit-start offsets from the wakeup.
+
+    The reply phase is the tail of the prober's listening window after the
+    whole PROBE burst has finished, minus guard margins and the REPLY's own
+    airtime.  Workers randomize their REPLY transmit times over this whole
+    phase (and additionally self-separate their own repeated REPLYs); the
+    phase never overlaps the burst, so under the half-duplex radio a lone
+    worker's REPLYs are guaranteed receivable by the prober.
+    """
+    if guard < 0:
+        raise ValueError("guard must be nonnegative")
+    span = probe_span(num_probes, airtime, gap)
+    reply_lo = span + guard
+    reply_hi = window - airtime - guard
+    if reply_hi <= reply_lo:
+        raise ValueError(
+            f"no reply phase: probes span {span:.4f}s of a {window:.4f}s window"
+        )
+    return reply_lo, reply_hi
+
+
+def probe_arrival_offset(probe_index: int, airtime: float, gap: float) -> float:
+    """Time from the prober's wakeup until PROBE ``probe_index`` is fully
+    received (deterministic burst offsets + one airtime)."""
+    if probe_index < 0:
+        raise ValueError("probe_index must be nonnegative")
+    return probe_index * (airtime + gap) + airtime
+
+
+def reply_delay(
+    rng: random.Random,
+    probe_index: int,
+    num_probes: int,
+    airtime: float,
+    gap: float,
+    window: float,
+    guard: float,
+) -> float:
+    """Backoff (from PROBE reception) for the REPLY answering that PROBE:
+    a uniform transmit time over the whole reply phase.  Returns a
+    nonnegative delay in seconds."""
+    if not 0 <= probe_index < num_probes:
+        raise ValueError("probe_index out of range")
+    reply_lo, reply_hi = reply_phase(num_probes, airtime, gap, window, guard)
+    target = rng.uniform(reply_lo, reply_hi)
+    return max(target - probe_arrival_offset(probe_index, airtime, gap), 0.0)

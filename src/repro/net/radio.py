@@ -1,0 +1,101 @@
+"""Radio model: bitrate/airtime, propagation and received signal strength.
+
+The paper's hardware model (§5.1, Berkeley-Motes-like):
+
+* raw capacity 20 kbps -> a 25-byte frame occupies the air for 10 ms;
+* sensing range and *maximum* transmission range are both 10 m;
+* nodes may either select transmission power to reach a chosen range
+  (variable-power mode, §2) or always transmit at full power and filter
+  receptions by signal-strength threshold (fixed-power mode, §4).
+
+Signal strength uses a unit-free inverse-power-law path loss
+``rssi = (1/d)^alpha`` so that a threshold corresponds one-to-one with a
+filtering distance; §4's "irregularities in signal attenuation" are modeled
+as a per-reception multiplicative jitter on the attenuation exponentiated
+distance (see :meth:`RadioModel.rssi`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RadioModel"]
+
+
+@dataclass
+class RadioModel:
+    """Physical-layer parameters and derived quantities.
+
+    Parameters
+    ----------
+    bitrate_bps:
+        Channel capacity; the paper uses 20 kbps.
+    max_range_m:
+        Maximum transmission range R_t at full power (paper: 10 m).
+    path_loss_exponent:
+        alpha in ``rssi = d^-alpha``; 2.0 approximates free space.
+    irregularity:
+        Amplitude of multiplicative log-uniform RSSI jitter in [0, 1).
+        0 disables irregularity (the default for paper experiments).
+    """
+
+    bitrate_bps: float = 20_000.0
+    max_range_m: float = 10.0
+    path_loss_exponent: float = 2.0
+    irregularity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if self.max_range_m <= 0:
+            raise ValueError("max range must be positive")
+        if self.path_loss_exponent <= 0:
+            raise ValueError("path loss exponent must be positive")
+        if not 0.0 <= self.irregularity < 1.0:
+            raise ValueError("irregularity must be in [0, 1)")
+
+    # ----------------------------------------------------------------- time
+    def airtime(self, size_bytes: int) -> float:
+        """Seconds a frame of the given size occupies the channel."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        return (size_bytes * 8) / self.bitrate_bps
+
+    # --------------------------------------------------------------- signal
+    def rssi(self, dist: float, rng: Optional[random.Random] = None) -> float:
+        """Received signal strength at distance ``dist`` (unit-free).
+
+        With irregularity ``e``, the effective distance is scaled by a
+        uniform factor in ``[1-e, 1+e]`` before applying path loss,
+        capturing §4's spatially varying attenuation.
+        """
+        if dist < 0:
+            raise ValueError("distance must be nonnegative")
+        effective = dist
+        if self.irregularity > 0 and rng is not None:
+            effective = dist * rng.uniform(1.0 - self.irregularity, 1.0 + self.irregularity)
+        if effective <= 1e-9:
+            return float("inf")
+        return effective ** (-self.path_loss_exponent)
+
+    def threshold_for_range(self, range_m: float) -> float:
+        """Signal threshold S_th equivalent to accepting senders within
+        ``range_m`` under nominal (jitter-free) attenuation — the fixed-power
+        filtering rule of §4."""
+        if not 0 < range_m <= self.max_range_m:
+            raise ValueError(
+                f"range must be in (0, {self.max_range_m}], got {range_m}"
+            )
+        return range_m ** (-self.path_loss_exponent)
+
+    def validate_tx_range(self, range_m: float) -> float:
+        """Clamp-check a requested variable-power transmission range."""
+        if range_m <= 0:
+            raise ValueError("transmission range must be positive")
+        if range_m > self.max_range_m + 1e-9:
+            raise ValueError(
+                f"requested range {range_m} exceeds max range {self.max_range_m}"
+            )
+        return float(range_m)

@@ -1,0 +1,119 @@
+"""Uniform-grid spatial index for range queries over stationary nodes.
+
+Sensor nodes in the paper are stationary once deployed (§5.2), so the index
+is built once and queried many times: the radio channel asks "who is within
+transmission range r of point p" on every PROBE/REPLY, and the routing layer
+asks for communication-range neighborhoods.
+
+A uniform bucket grid gives O(1) expected query time for the short ranges the
+protocol uses (probing range 3 m, radio range 10 m in a 50 x 50 m field).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from .field import Field, Point, distance_sq
+
+__all__ = ["SpatialGrid"]
+
+
+class SpatialGrid:
+    """Bucket-grid index mapping ids to fixed positions.
+
+    Parameters
+    ----------
+    field:
+        The deployment field (defines the indexed extent).
+    cell_size:
+        Bucket edge length.  A good choice is the most common query radius;
+        queries then touch at most 9 buckets.
+    """
+
+    def __init__(self, field: Field, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.field = field
+        self.cell_size = float(cell_size)
+        self._cells: Dict[Tuple[int, int], List[Hashable]] = {}
+        self._positions: Dict[Hashable, Point] = {}
+
+    # ------------------------------------------------------------- mutation
+    def insert(self, item: Hashable, position: Point) -> None:
+        if item in self._positions:
+            raise KeyError(f"item {item!r} already indexed")
+        self._positions[item] = position
+        self._cells.setdefault(self._cell_of(position), []).append(item)
+
+    def remove(self, item: Hashable) -> None:
+        position = self._positions.pop(item)
+        cell = self._cell_of(position)
+        self._cells[cell].remove(item)
+        if not self._cells[cell]:
+            del self._cells[cell]
+
+    def bulk_insert(self, items: Iterable[Tuple[Hashable, Point]]) -> None:
+        for item, position in items:
+            self.insert(item, position)
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._positions
+
+    def position(self, item: Hashable) -> Point:
+        return self._positions[item]
+
+    def within(self, center: Point, radius: float) -> List[Hashable]:
+        """All indexed items within ``radius`` of ``center`` (inclusive)."""
+        if radius < 0:
+            raise ValueError("radius must be nonnegative")
+        r_sq = radius * radius
+        cx, cy = center
+        span = int(math.ceil(radius / self.cell_size))
+        icx, icy = self._cell_of(center)
+        found: List[Hashable] = []
+        positions = self._positions
+        for ix in range(icx - span, icx + span + 1):
+            for iy in range(icy - span, icy + span + 1):
+                bucket = self._cells.get((ix, iy))
+                if not bucket:
+                    continue
+                for item in bucket:
+                    if distance_sq(positions[item], (cx, cy)) <= r_sq:
+                        found.append(item)
+        return found
+
+    def nearest(self, center: Point) -> Hashable:
+        """The indexed item closest to ``center`` (ties broken arbitrarily)."""
+        if not self._positions:
+            raise ValueError("index is empty")
+        # Expanding-ring search over buckets.
+        radius = self.cell_size
+        max_extent = math.hypot(self.field.width, self.field.height) + self.cell_size
+        while radius <= max_extent:
+            candidates = self.within(center, radius)
+            if candidates:
+                return min(
+                    candidates,
+                    key=lambda it: distance_sq(self._positions[it], center),
+                )
+            radius *= 2
+        # Fallback: exhaustive (only reachable with pathological cell sizes).
+        return min(
+            self._positions,
+            key=lambda it: distance_sq(self._positions[it], center),
+        )
+
+    def items(self) -> Iterable[Tuple[Hashable, Point]]:
+        return self._positions.items()
+
+    # ------------------------------------------------------------ internals
+    def _cell_of(self, position: Point) -> Tuple[int, int]:
+        return (
+            int(math.floor(position[0] / self.cell_size)),
+            int(math.floor(position[1] / self.cell_size)),
+        )

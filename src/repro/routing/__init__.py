@@ -1,0 +1,21 @@
+"""GRAB-like data forwarding substrate (cost field + report delivery).
+
+Wires into a PEAS network via the working-set observer stream:
+
+>>> topology = WorkingTopology(network.grid, comm_range=10.0)   # doctest: +SKIP
+>>> network.working_observers.append(
+...     lambda t, node, started: topology.add_working(node.node_id, node.position)
+...     if started else topology.remove_working(node.node_id))  # doctest: +SKIP
+"""
+
+from .costfield import CostField, WorkingTopology
+from .grab import DeliveryOutcome, GrabRouter
+from .traffic import ReportTraffic
+
+__all__ = [
+    "WorkingTopology",
+    "CostField",
+    "GrabRouter",
+    "DeliveryOutcome",
+    "ReportTraffic",
+]

@@ -1,0 +1,16 @@
+"""Event-detection substrate: the network's actual sensing mission.
+
+K-coverage (§5.1) is the paper's proxy for sensing quality; this package
+measures the mission directly — generate target events, resolve whether the
+working set detected them and how fast:
+
+>>> events = generate_events(field, rate_hz=0.01, horizon_s=5000,
+...                          dwell_s=300, rng=rng)            # doctest: +SKIP
+>>> monitor = DetectionMonitor(sim, events)                    # doctest: +SKIP
+>>> network.working_observers.append(monitor.on_working_change)  # doctest: +SKIP
+"""
+
+from .detector import DetectionMonitor
+from .events import EventOutcome, TargetEvent, generate_events
+
+__all__ = ["TargetEvent", "EventOutcome", "generate_events", "DetectionMonitor"]

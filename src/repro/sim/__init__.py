@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel (the reproduction's PARSEC substitute).
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop and virtual clock.
+* :class:`~repro.sim.events.Event` — a scheduled, cancellable callback.
+* :class:`~repro.sim.rng.RngRegistry` — named deterministic RNG streams.
+* :class:`~repro.sim.process.Timer` / :class:`~repro.sim.process.PeriodicProcess`
+  / :func:`~repro.sim.process.start_process` — process-style helpers.
+* :class:`~repro.sim.trace.CounterSet` and friends — run statistics.
+"""
+
+from .engine import SimulationError, Simulator
+from .events import (
+    PRIORITY_DEFAULT,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    Event,
+    EventQueueEmpty,
+)
+from .process import PeriodicProcess, Timer, start_process
+from .rng import RngRegistry, derive_seed
+from .trace import CounterSet, SeriesRecorder, TimeWeightedValue, TraceLog
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "EventQueueEmpty",
+    "PRIORITY_HIGH",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_LOW",
+    "Timer",
+    "PeriodicProcess",
+    "start_process",
+    "RngRegistry",
+    "derive_seed",
+    "CounterSet",
+    "TimeWeightedValue",
+    "SeriesRecorder",
+    "TraceLog",
+]

@@ -1,0 +1,171 @@
+"""The discrete-event simulation engine.
+
+This is the reproduction's substitute for the PARSEC simulation language the
+paper used (§5.1).  PARSEC is a C-based parallel simulator; PEAS's evaluation
+only needs a deterministic sequential event executor, which this module
+provides:
+
+* a binary-heap event queue with deterministic tie-breaking,
+* lazy event cancellation,
+* simulation-time bookkeeping (``now``),
+* run-until-time / run-until-empty / bounded-step execution,
+* hook points used by tracing and metrics.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(2.0, fired.append, "b")
+>>> _ = sim.schedule(1.0, fired.append, "a")
+>>> sim.run()
+>>> fired
+['a', 'b']
+>>> sim.now
+2.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from .events import Event, EventQueueEmpty, PRIORITY_DEFAULT
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A sequential discrete-event simulator.
+
+    The simulator owns the virtual clock.  All model components (radio
+    channel, PEAS nodes, failure injector, traffic generators) schedule
+    events against a single shared instance so that their interleavings are
+    globally ordered.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._running = False
+        self._stopped = False
+        self._executed = 0
+        #: Observers called as ``fn(event)`` just before each event fires.
+        self.pre_event_hooks: List[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued, including cancelled-but-unreaped ones."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_DEFAULT,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_DEFAULT,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at the absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = Event(time, fn, args, priority=priority, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # -------------------------------------------------------------- execution
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if the queue is empty."""
+        self._reap_cancelled_head()
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> Event:
+        """Fire exactly one event and return it."""
+        self._reap_cancelled_head()
+        if not self._queue:
+            raise EventQueueEmpty("no pending events")
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        for hook in self.pre_event_hooks:
+            hook(event)
+        event.fire()
+        self._executed += 1
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time; the
+            clock is advanced to ``until``.  ``None`` runs until the queue
+            drains or :meth:`stop` is called.
+        max_events:
+            Safety valve: raise :class:`SimulationError` after this many
+            events (guards against accidental event storms in tests).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while not self._stopped:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to return after the active event."""
+        self._stopped = True
+
+    # -------------------------------------------------------------- internals
+    def _reap_cancelled_head(self) -> None:
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:.3f} pending={len(self._queue)}>"

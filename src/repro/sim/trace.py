@@ -1,0 +1,132 @@
+"""Lightweight tracing and statistics collection for simulation runs.
+
+Three collectors cover everything the experiments need:
+
+* :class:`CounterSet` — named monotonically increasing counters
+  (wakeups, probes sent, replies heard, collisions, reports delivered...).
+* :class:`TimeWeightedValue` — integrates a piecewise-constant signal over
+  simulation time (e.g. number of working nodes) so its time-average can be
+  reported.
+* :class:`SeriesRecorder` — (time, value) samples for plotting/asserting on
+  trajectories such as K-coverage over time or measured λ̂.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CounterSet", "TimeWeightedValue", "SeriesRecorder", "TraceLog"]
+
+
+class CounterSet:
+    """A bag of named integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterSet({dict(self._counts)!r})"
+
+
+class TimeWeightedValue:
+    """Time-integral of a piecewise-constant signal.
+
+    >>> twv = TimeWeightedValue(initial=0.0, start_time=0.0)
+    >>> twv.update(10.0, 5.0)   # value becomes 5 at t=10
+    >>> twv.mean(20.0)          # 0 for 10s, 5 for 10s
+    2.5
+    """
+
+    def __init__(self, initial: float = 0.0, start_time: float = 0.0) -> None:
+        self._value = float(initial)
+        self._start_time = float(start_time)
+        self._last_time = float(start_time)
+        self._integral = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, now: float, new_value: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time must not go backwards")
+        self._integral += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = float(new_value)
+
+    def add(self, now: float, delta: float) -> None:
+        self.update(now, self._value + delta)
+
+    def integral(self, now: float) -> float:
+        return self._integral + self._value * (now - self._last_time)
+
+    def mean(self, now: float) -> float:
+        """Time-average of the signal over ``[start_time, now]``."""
+        span = now - self._start_time
+        return self.integral(now) / span if span > 0 else self._value
+
+
+class SeriesRecorder:
+    """Records (time, value) samples of named series."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self._series[name].append((time, value))
+
+    def samples(self, name: str) -> List[Tuple[float, float]]:
+        return list(self._series.get(name, []))
+
+    def last(self, name: str) -> Optional[Tuple[float, float]]:
+        series = self._series.get(name)
+        return series[-1] if series else None
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def first_time_below(self, name: str, threshold: float) -> Optional[float]:
+        """First sample time at which the series drops below ``threshold``.
+
+        This is exactly how the paper defines *lifetimes*: the time at which
+        K-coverage (or data success ratio) first falls under the 90 %
+        threshold (§5.1).
+        """
+        for time, value in self._series.get(name, []):
+            if value < threshold:
+                return time
+        return None
+
+
+class TraceLog:
+    """Optional structured event log, disabled by default for speed."""
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._entries: List[Tuple[float, str, tuple]] = []
+
+    def log(self, time: float, kind: str, *details: object) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            return
+        self._entries.append((time, kind, details))
+
+    def entries(self, kind: Optional[str] = None) -> List[Tuple[float, str, tuple]]:
+        if kind is None:
+            return list(self._entries)
+        return [e for e in self._entries if e[1] == kind]
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the PEAS reproduction test suite."""
+
+import random
+
+import pytest
+
+from repro.net import Field
+from repro.sim import RngRegistry, Simulator
+
+from tests.helpers import make_network
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def rngs():
+    return RngRegistry(seed=12345)
+
+
+@pytest.fixture
+def small_field():
+    return Field(20.0, 20.0)
+
+
+@pytest.fixture
+def small_network():
+    return make_network()

@@ -1,0 +1,30 @@
+"""Shared construction helpers for the test suite."""
+
+from repro.core import PEASConfig, PEASNetwork
+from repro.net import Field, uniform_deployment
+from repro.sim import RngRegistry, Simulator
+
+
+def make_network(
+    num_nodes=40,
+    seed=7,
+    field_size=(20.0, 20.0),
+    config=None,
+    loss_rate=0.0,
+    anchors=(),
+):
+    """Build a small PEAS network ready to start."""
+    sim = Simulator()
+    rngs = RngRegistry(seed=seed)
+    field = Field(*field_size)
+    positions = uniform_deployment(field, num_nodes, rngs.stream("deployment"))
+    network = PEASNetwork(
+        sim,
+        field,
+        positions,
+        config if config is not None else PEASConfig(),
+        rngs,
+        loss_rate=loss_rate,
+        anchors=anchors,
+    )
+    return sim, network

@@ -1,0 +1,158 @@
+"""Property-based tests for the Adaptive Sleeping math and batteries."""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RateEstimator, select_feedback, updated_rate
+from repro.energy import MOTE_PROFILE, NodeBattery, RadioMode
+
+rates = st.floats(min_value=1e-5, max_value=2.0, allow_nan=False)
+positive_rates = st.floats(min_value=1e-4, max_value=10.0, allow_nan=False)
+
+
+class TestUpdatedRateProperties:
+    @given(rates, positive_rates, positive_rates)
+    def test_result_within_clamps(self, current, measured, desired):
+        result = updated_rate(current, measured, desired, 1e-3, 2.0, 4.0)
+        assert 1e-3 <= result <= 2.0
+
+    @given(rates, positive_rates, positive_rates)
+    def test_capped_step_bounded(self, current, measured, desired):
+        result = updated_rate(current, measured, desired, 1e-9, 1e9, 4.0)
+        assert current / 4.0 - 1e-12 <= result <= current * 4.0 + 1e-12
+
+    @given(rates, positive_rates)
+    def test_fixed_point_when_measured_equals_desired(self, current, desired):
+        result = updated_rate(current, desired, desired, 1e-9, 1e9, None)
+        assert abs(result - current) < 1e-12
+
+    @given(rates, positive_rates, positive_rates)
+    def test_direction_matches_error_sign(self, current, measured, desired):
+        assume(abs(measured - desired) / desired > 1e-6)
+        result = updated_rate(current, measured, desired, 1e-9, 1e9, 4.0)
+        if measured > desired:
+            assert result <= current
+        else:
+            assert result >= current
+
+    @given(
+        st.lists(rates, min_size=1, max_size=20),
+        positive_rates,
+    )
+    def test_aggregate_fixed_point(self, sleeper_rates, desired):
+        """Eq. 2 against the exact aggregate lands exactly on lambda_d."""
+        aggregate = sum(sleeper_rates)
+        new_rates = [
+            updated_rate(r, aggregate, desired, 1e-12, 1e9, None)
+            for r in sleeper_rates
+        ]
+        assert abs(sum(new_rates) - desired) / desired < 1e-9
+
+
+class TestSelectFeedbackProperties:
+    @given(st.lists(st.one_of(st.none(), positive_rates), max_size=10))
+    def test_largest_rule_returns_max_of_present(self, measurements):
+        present = [m for m in measurements if m is not None]
+        result = select_feedback(measurements, largest=True)
+        if present:
+            assert result == max(present)
+        else:
+            assert result is None
+
+
+class TestRateEstimatorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=500.0, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        ),
+        st.integers(min_value=2, max_value=16),
+    )
+    def test_windowed_measurement_equals_k_over_elapsed(self, gaps, k):
+        estimator = RateEstimator(k, mode="windowed")
+        now = 0.0
+        arrivals = []
+        for index, gap in enumerate(gaps):
+            now += gap
+            arrivals.append(now)
+            estimator.on_probe(now, ("n", index))
+        windows = (len(arrivals) - 1) // k
+        assert estimator.windows_completed == windows
+        if windows:
+            # Verify the most recent completed window's value.
+            start = arrivals[(windows - 1) * k]
+            end = arrivals[windows * k]
+            assert abs(estimator.measured_rate - k / (end - start)) < 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=30))
+    def test_duplicate_wakeups_never_counted(self, copies):
+        estimator = RateEstimator(64, mode="running", min_horizon_s=1.0,
+                                  start_time=0.0)
+        for i in range(copies):
+            estimator.on_probe(10.0 + i * 0.001, ("same", 0))
+        assert estimator.pending_count == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.001, max_value=1.0),
+        st.integers(min_value=5, max_value=200),
+    )
+    def test_running_estimate_positive_and_finite(self, rate, n):
+        rng = random.Random(0)
+        estimator = RateEstimator(1000, mode="running", min_horizon_s=1.0,
+                                  start_time=0.0)
+        now = 0.0
+        for index in range(n):
+            now += rng.expovariate(rate)
+            estimator.on_probe(now, ("n", index))
+        estimate = estimator.estimate(now + 2.0)
+        assert estimate is not None
+        assert 0.0 < estimate < float("inf")
+
+
+class TestBatteryProperties:
+    charges = st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),  # time gap
+            st.sampled_from([RadioMode.SLEEP, RadioMode.IDLE, RadioMode.OFF]),
+            st.floats(min_value=0.0, max_value=0.01),  # frame energy
+        ),
+        max_size=40,
+    )
+
+    @given(charges)
+    def test_remaining_never_negative_and_monotone(self, steps):
+        battery = NodeBattery(MOTE_PROFILE, 57.0)
+        now = 0.0
+        previous = battery.remaining(0.0)
+        for gap, mode, joules in steps:
+            now += gap
+            battery.set_mode(now, mode)
+            if joules:
+                battery.charge(now, joules, "x")
+            current = battery.remaining(now)
+            assert 0.0 <= current <= previous + 1e-12
+            previous = current
+
+    @given(charges)
+    def test_consumed_plus_remaining_is_initial(self, steps):
+        battery = NodeBattery(MOTE_PROFILE, 57.0)
+        now = 0.0
+        for gap, mode, joules in steps:
+            now += gap
+            battery.set_mode(now, mode)
+            if joules:
+                battery.charge(now, joules, "x")
+        assert abs(battery.consumed(now) + battery.remaining(now) - 57.0) < 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=60.0))
+    def test_depletion_prediction_exact_for_constant_draw(self, initial):
+        battery = NodeBattery(MOTE_PROFILE, initial)
+        battery.set_mode(0.0, RadioMode.IDLE)
+        ttd = battery.time_to_depletion(0.0)
+        assert abs(battery.remaining(ttd)) < 1e-9

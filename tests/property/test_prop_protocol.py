@@ -1,0 +1,97 @@
+"""Property-based fuzzing of the live protocol: random kill schedules.
+
+Whatever failure pattern is injected, structural invariants must hold:
+counters consistent, energy conserved, observer streams balanced, dead
+nodes silent, and the working set consistent with node modes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NodeMode
+from tests.helpers import make_network
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    kill_script=st.lists(
+        st.tuples(
+            st.floats(min_value=10.0, max_value=3000.0),  # when
+            st.integers(min_value=0, max_value=59),       # whom
+        ),
+        max_size=25,
+    ),
+)
+def test_protocol_invariants_under_random_failures(seed, kill_script):
+    sim, network = make_network(num_nodes=60, seed=seed, field_size=(25.0, 25.0))
+
+    starts = []
+    stops = []
+    network.working_observers.append(
+        lambda t, node, started: (starts if started else stops).append(node.node_id)
+    )
+    network.start()
+    for when, victim in kill_script:
+        def kill(victim=victim):
+            if victim in network.alive_ids():
+                network.kill(victim)
+        sim.schedule(when, kill)
+    sim.run(until=3500.0)
+
+    # --- observer stream balances the live working set ---------------------
+    assert len(starts) - len(stops) == len(network.working_ids())
+
+    # --- node modes consistent with the working set ------------------------
+    for node in network.sensor_nodes():
+        if node.node_id in network.working_ids():
+            assert node.mode is NodeMode.WORKING
+        else:
+            assert node.mode is not NodeMode.WORKING
+        if node.node_id not in network.alive_ids():
+            assert node.mode is NodeMode.DEAD
+
+    # --- energy conservation ------------------------------------------------
+    report = network.energy_report()
+    assert 0.0 <= report.total_consumed_j <= network.total_initial_energy() + 1e-6
+    assert 0.0 <= report.overhead_j <= report.total_consumed_j + 1e-6
+
+    # --- counter consistency --------------------------------------------------
+    counters = network.counters
+    assert counters.get("work_starts") == len(starts)
+    assert counters.get("deaths_failure") <= len(kill_script)
+    assert counters.get("probes_sent") <= counters.get("wakeups") * 3
+
+    # --- channel sanity --------------------------------------------------------
+    channel = network.channel.counters
+    assert channel.get("frames_delivered") >= 0
+    assert channel.get("frames_sent") >= counters.get("probes_sent")
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_working_set_is_maximal_like_after_settling(seed):
+    """After the boot phase settles (no failures), every sleeping node has
+    a working node within the probing range — the RSA maximality property
+    realized by the live protocol."""
+    from repro.net import distance
+
+    sim, network = make_network(num_nodes=80, seed=seed, field_size=(25.0, 25.0))
+    network.start()
+    sim.run(until=1500.0)
+    working_positions = [
+        network.node(i).position for i in network.working_ids()
+    ]
+    uncovered_sleepers = 0
+    sleepers = 0
+    for node in network.sensor_nodes():
+        if node.mode is NodeMode.SLEEPING:
+            sleepers += 1
+            if not any(
+                distance(node.position, w) <= 3.0 for w in working_positions
+            ):
+                uncovered_sleepers += 1
+    # A sleeper not covered by any worker would start working on its next
+    # wakeup; right after boot that should be (nearly) nobody.
+    if sleepers:
+        assert uncovered_sleepers / sleepers < 0.15

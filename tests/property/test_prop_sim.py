@@ -1,0 +1,78 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.events import Event
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False)
+priorities = st.integers(min_value=0, max_value=30)
+
+
+class TestEventOrdering:
+    @given(st.lists(st.tuples(times, priorities), min_size=1, max_size=60))
+    def test_events_fire_in_sort_key_order(self, specs):
+        sim = Simulator()
+        fired = []
+        for index, (time, priority) in enumerate(specs):
+            sim.schedule_at(
+                time,
+                lambda i=index: fired.append(i),
+                priority=priority,
+            )
+        sim.run()
+        keys = [(specs[i][0], specs[i][1]) for i in fired]
+        assert keys == sorted(keys, key=lambda k: (k[0], k[1]))
+        assert len(fired) == len(specs)
+
+    @given(st.lists(times, min_size=1, max_size=60))
+    def test_clock_is_monotone(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+
+    @given(
+        st.lists(times, min_size=2, max_size=40),
+        st.data(),
+    )
+    def test_cancelled_events_never_fire(self, delays, data):
+        sim = Simulator()
+        fired = []
+        events = [
+            sim.schedule(delay, lambda i=i: fired.append(i))
+            for i, delay in enumerate(delays)
+        ]
+        to_cancel = data.draw(
+            st.sets(st.integers(0, len(events) - 1), max_size=len(events))
+        )
+        for index in to_cancel:
+            events[index].cancel()
+        sim.run()
+        assert set(fired) == set(range(len(events))) - to_cancel
+
+    @given(st.lists(times, min_size=1, max_size=40), times)
+    def test_run_until_partitions_execution(self, delays, cut):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=cut)
+        early = list(fired)
+        sim.run()
+        assert all(d <= cut for d in early)
+        assert sorted(fired) == sorted(delays)
+
+
+class TestEventSortKey:
+    @given(times, times, priorities, priorities)
+    def test_ordering_total_and_consistent(self, t1, t2, p1, p2):
+        a = Event(t1, lambda: None, priority=p1)
+        b = Event(t2, lambda: None, priority=p2)
+        assert (a < b) != (b < a)  # strict total order via seq tiebreak
+        if t1 < t2:
+            assert a < b

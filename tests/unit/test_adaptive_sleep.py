@@ -1,0 +1,203 @@
+"""Unit tests for repro.core.adaptive_sleep (the §2.2 machinery)."""
+
+import random
+
+import pytest
+
+from repro.core import RateEstimator, select_feedback, sleep_duration, updated_rate
+
+
+class TestRateEstimatorWindowed:
+    """The paper's literal k-interval estimator."""
+
+    def make(self, k=4):
+        return RateEstimator(k, mode="windowed")
+
+    def test_no_measurement_before_window_completes(self):
+        estimator = self.make(k=4)
+        for i in range(4):  # first probe initializes, 3 more counted
+            estimator.on_probe(float(i), ("n", i))
+        assert estimator.measured_rate is None
+
+    def test_window_completion_yields_rate(self):
+        estimator = self.make(k=4)
+        # First probe at t=0 initializes; probes at 10, 20, 30, 40 count.
+        result = None
+        for i, t in enumerate((0.0, 10.0, 20.0, 30.0, 40.0)):
+            result = estimator.on_probe(t, ("n", i))
+        assert result == pytest.approx(4 / 40.0)
+        assert estimator.measured_rate == pytest.approx(0.1)
+        assert estimator.windows_completed == 1
+
+    def test_window_restarts_after_measurement(self):
+        estimator = self.make(k=2)
+        for i, t in enumerate((0.0, 5.0, 10.0)):
+            estimator.on_probe(t, ("n", i))
+        assert estimator.measured_rate == pytest.approx(2 / 10.0)
+        # Next window: probes at 20, 30 -> rate 2/(30-10)
+        estimator.on_probe(20.0, ("n", 10))
+        estimator.on_probe(30.0, ("n", 11))
+        assert estimator.measured_rate == pytest.approx(0.1)
+        assert estimator.windows_completed == 2
+
+    def test_estimate_returns_last_window_only(self):
+        estimator = self.make(k=2)
+        assert estimator.estimate(100.0) is None
+        for i, t in enumerate((0.0, 5.0, 10.0)):
+            estimator.on_probe(t, ("n", i))
+        assert estimator.estimate(1e6) == pytest.approx(0.2)  # stale forever
+
+    def test_simultaneous_arrivals_restart_window(self):
+        estimator = self.make(k=2)
+        for i in range(3):
+            estimator.on_probe(0.0, ("n", i))
+        assert estimator.measured_rate is None
+
+
+class TestRateEstimatorRunning:
+    def test_silence_decays_estimate(self):
+        estimator = RateEstimator(32, mode="running", min_horizon_s=50.0, start_time=0.0)
+        assert estimator.estimate(40.0) is None  # below horizon, no window yet
+        assert estimator.estimate(100.0) == pytest.approx(0.5 / 100.0)
+        assert estimator.estimate(1000.0) == pytest.approx(0.5 / 1000.0)
+
+    def test_running_estimate_tracks_arrivals(self):
+        estimator = RateEstimator(32, mode="running", min_horizon_s=50.0, start_time=0.0)
+        for i in range(10):
+            estimator.on_probe(10.0 * (i + 1), ("n", i))
+        assert estimator.estimate(100.0) == pytest.approx(10.5 / 100.0)
+
+    def test_below_horizon_falls_back_to_window(self):
+        estimator = RateEstimator(2, mode="running", min_horizon_s=50.0, start_time=0.0)
+        estimator.on_probe(10.0, ("a", 0))
+        estimator.on_probe(20.0, ("b", 0))  # window completes: rate 2/20
+        # Window restarted at t=20; at t=30 the new window is younger than
+        # the horizon, so the completed-window value is reported.
+        assert estimator.estimate(30.0) == pytest.approx(0.1)
+
+    def test_window_restart_at_k(self):
+        estimator = RateEstimator(3, mode="running", min_horizon_s=1.0, start_time=0.0)
+        for i, t in enumerate((10.0, 20.0, 30.0)):
+            estimator.on_probe(t, ("n", i))
+        assert estimator.windows_completed == 1
+        assert estimator.measured_rate == pytest.approx(3 / 30.0)
+        assert estimator.pending_count == 0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            RateEstimator(4, mode="running", min_horizon_s=0.0)
+
+
+class TestDedup:
+    def test_same_wakeup_counted_once(self):
+        estimator = RateEstimator(32, mode="running", min_horizon_s=1.0, start_time=0.0)
+        for index in range(3):  # three frames, one wakeup
+            estimator.on_probe(10.0 + 0.01 * index, ("node7", 0))
+        assert estimator.pending_count == 1
+
+    def test_distinct_wakeups_counted(self):
+        estimator = RateEstimator(32, mode="running", min_horizon_s=1.0, start_time=0.0)
+        estimator.on_probe(10.0, ("node7", 0))
+        estimator.on_probe(20.0, ("node7", 1))
+        estimator.on_probe(30.0, ("node8", 0))
+        assert estimator.pending_count == 3
+
+    def test_dedupe_window_bounded(self):
+        estimator = RateEstimator(64, dedupe_window=2, mode="running",
+                                  min_horizon_s=1.0, start_time=0.0)
+        estimator.on_probe(1.0, ("a", 0))
+        estimator.on_probe(2.0, ("b", 0))
+        estimator.on_probe(3.0, ("c", 0))  # evicts ("a", 0) from memory
+        estimator.on_probe(4.0, ("a", 0))  # counted again: memory bounded
+        assert estimator.pending_count == 4
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            RateEstimator(4, mode="sideways")
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RateEstimator(0)
+
+
+class TestUpdatedRate:
+    def test_equation_two(self):
+        """lambda_new = lambda * lambda_d / lambda_hat."""
+        assert updated_rate(0.1, 0.05, 0.02, 1e-6, 10.0) == pytest.approx(0.04)
+
+    def test_fixed_point(self):
+        """When lambda_hat == lambda_d the rate is unchanged."""
+        assert updated_rate(0.07, 0.02, 0.02, 1e-6, 10.0) == pytest.approx(0.07)
+
+    def test_increases_when_measured_low(self):
+        assert updated_rate(0.01, 0.005, 0.02, 1e-6, 10.0) == pytest.approx(0.04)
+
+    def test_min_clamp(self):
+        assert updated_rate(0.001, 10.0, 0.02, 1e-3, 10.0) == 1e-3
+
+    def test_max_clamp(self):
+        assert updated_rate(1.0, 0.001, 0.02, 1e-6, 2.0) == 2.0
+
+    def test_adjust_factor_caps_decrease(self):
+        result = updated_rate(0.1, 1.0, 0.02, 1e-6, 10.0, max_adjust_factor=4.0)
+        assert result == pytest.approx(0.1 / 4.0)
+
+    def test_adjust_factor_caps_increase(self):
+        result = updated_rate(0.001, 0.0001, 0.02, 1e-6, 10.0, max_adjust_factor=4.0)
+        assert result == pytest.approx(0.004)
+
+    def test_uncapped_when_none(self):
+        result = updated_rate(0.1, 1.0, 0.02, 1e-6, 10.0, max_adjust_factor=None)
+        assert result == pytest.approx(0.002)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            updated_rate(0.0, 0.02, 0.02, 1e-6, 10.0)
+        with pytest.raises(ValueError):
+            updated_rate(0.1, 0.0, 0.02, 1e-6, 10.0)
+        with pytest.raises(ValueError):
+            updated_rate(0.1, 0.02, 0.02, 1e-6, 10.0, max_adjust_factor=0.5)
+
+    def test_aggregate_convergence_one_step(self):
+        """§2.2.1: if all sleepers adapt against an accurate measurement,
+        the new aggregate equals lambda_d."""
+        rates = [0.11, 0.07, 0.02, 0.30]
+        aggregate = sum(rates)
+        desired = 0.02
+        new_rates = [
+            updated_rate(r, aggregate, desired, 1e-9, 100.0) for r in rates
+        ]
+        assert sum(new_rates) == pytest.approx(desired)
+
+
+class TestSelectFeedback:
+    def test_largest_rule(self):
+        assert select_feedback([0.01, 0.05, 0.02]) == 0.05
+
+    def test_first_rule(self):
+        assert select_feedback([0.01, 0.05], largest=False) == 0.01
+
+    def test_ignores_none(self):
+        assert select_feedback([None, 0.03, None]) == 0.03
+
+    def test_all_none(self):
+        assert select_feedback([None, None]) is None
+
+    def test_empty(self):
+        assert select_feedback([]) is None
+
+
+class TestSleepDuration:
+    def test_positive(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            assert sleep_duration(rng, 0.1) > 0
+
+    def test_mean_is_inverse_rate(self):
+        rng = random.Random(2)
+        draws = [sleep_duration(rng, 0.1) for _ in range(20000)]
+        assert sum(draws) / len(draws) == pytest.approx(10.0, rel=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            sleep_duration(random.Random(1), 0.0)

@@ -1,0 +1,245 @@
+"""Unit tests for the §3 / §2.2.1 analysis modules."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import (
+    THEOREM_RANGE_FACTOR,
+    connectivity_probability,
+    connectivity_vs_range_factor,
+    empty_cell_count,
+    empty_cells_vs_side,
+    is_connected,
+    k_for_error,
+    merged_interval_samples,
+    min_neighbor_distances,
+    min_pairwise_distance,
+    neighbor_distance_bound_fraction,
+    nodes_for_condition,
+    relative_error_quantile,
+    rsa_working_set,
+    simulate_estimator_errors,
+    working_graph,
+)
+from repro.net import Field, uniform_deployment
+
+
+class TestGeometry:
+    def test_theorem_factor(self):
+        assert THEOREM_RANGE_FACTOR == pytest.approx(1 + math.sqrt(5))
+
+    def test_min_pairwise_distance(self):
+        points = [(0.0, 0.0), (3.0, 0.0), (0.0, 4.0)]
+        assert min_pairwise_distance(points) == pytest.approx(3.0)
+
+    def test_min_pairwise_single_point(self):
+        assert min_pairwise_distance([(1.0, 1.0)]) == float("inf")
+
+    def test_min_pairwise_matches_brute_force(self):
+        rng = random.Random(4)
+        points = [(rng.uniform(0, 30), rng.uniform(0, 30)) for _ in range(60)]
+        brute = min(
+            math.dist(points[i], points[j])
+            for i in range(len(points))
+            for j in range(i + 1, len(points))
+        )
+        assert min_pairwise_distance(points) == pytest.approx(brute)
+
+    def test_min_neighbor_distances(self):
+        points = [(0.0, 0.0), (1.0, 0.0), (10.0, 0.0)]
+        distances = min_neighbor_distances(points)
+        assert distances[0] == pytest.approx(1.0)
+        assert distances[2] == pytest.approx(9.0)
+
+    def test_rsa_separation_invariant(self):
+        """The probing rule guarantees pairwise distance >= R_p."""
+        rng = random.Random(1)
+        field = Field(50.0, 50.0)
+        candidates = uniform_deployment(field, 600, rng)
+        workers = rsa_working_set(candidates, probe_range=3.0, rng=rng)
+        assert min_pairwise_distance(workers) >= 3.0
+
+    def test_rsa_maximality(self):
+        """Every non-worker candidate has a worker within R_p (else it
+        would have become one)."""
+        rng = random.Random(2)
+        field = Field(30.0, 30.0)
+        candidates = uniform_deployment(field, 300, rng)
+        workers = rsa_working_set(candidates, probe_range=3.0, rng=rng)
+        worker_set = set(workers)
+        for candidate in candidates:
+            if candidate in worker_set:
+                continue
+            assert any(math.dist(candidate, w) <= 3.0 for w in workers)
+
+    def test_rsa_density_near_saturation(self):
+        """Dense deployments saturate near the RSA packing density
+        (~0.547 disk-coverage fraction -> ~0.077 workers per m^2 at
+        R_p = 3)."""
+        rng = random.Random(3)
+        field = Field(50.0, 50.0)
+        candidates = uniform_deployment(field, 2500, rng)
+        workers = rsa_working_set(candidates, probe_range=3.0, rng=rng)
+        density = len(workers) / field.area
+        assert 0.06 < density < 0.09
+
+    def test_rsa_invalid_range(self):
+        with pytest.raises(ValueError):
+            rsa_working_set([(0.0, 0.0)], probe_range=0.0, rng=random.Random(1))
+
+
+class TestConnectivity:
+    def test_working_graph_edges(self):
+        graph = working_graph([(0.0, 0.0), (5.0, 0.0), (20.0, 0.0)], tx_range=10.0)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 2)
+
+    def test_is_connected_chain(self):
+        chain = [(float(i * 5), 0.0) for i in range(5)]
+        assert is_connected(chain, tx_range=6.0)
+        assert not is_connected(chain, tx_range=4.0)
+
+    def test_trivial_sets_connected(self):
+        assert is_connected([], 5.0)
+        assert is_connected([(1.0, 1.0)], 5.0)
+
+    def test_bound_fraction_for_dense_rsa(self):
+        """Lemma 3.2: nearest working neighbors within (1+sqrt5) R_p."""
+        rng = random.Random(5)
+        field = Field(50.0, 50.0)
+        candidates = uniform_deployment(field, 1500, rng)
+        workers = rsa_working_set(candidates, probe_range=3.0, rng=rng)
+        assert neighbor_distance_bound_fraction(workers, 3.0) == 1.0
+
+    def test_connectivity_probability_monotone_in_range(self):
+        rng = random.Random(6)
+        field = Field(40.0, 40.0)
+        low = connectivity_probability(field, 300, 3.0, 4.0, trials=10, rng=rng)
+        rng = random.Random(6)
+        high = connectivity_probability(field, 300, 3.0, 12.0, trials=10, rng=rng)
+        assert high >= low
+
+    def test_theorem31_factor_gives_connectivity(self):
+        """At R_t = (1+sqrt5) R_p and adequate density, PEAS working sets
+        are connected (Theorem 3.1)."""
+        rng = random.Random(7)
+        field = Field(50.0, 50.0)
+        probability = connectivity_probability(
+            field, 600, 3.0, THEOREM_RANGE_FACTOR * 3.0, trials=15, rng=rng
+        )
+        assert probability == 1.0
+
+    def test_range_factor_sweep_shape(self):
+        rng = random.Random(8)
+        rows = connectivity_vs_range_factor(
+            Field(40.0, 40.0), 400, 3.0, [1.2, THEOREM_RANGE_FACTOR], trials=8,
+            rng=rng,
+        )
+        assert rows[0][1] <= rows[1][1]
+        assert rows[1][1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            working_graph([(0.0, 0.0)], tx_range=0.0)
+        with pytest.raises(ValueError):
+            connectivity_probability(
+                Field(10, 10), 10, 3.0, 10.0, trials=0, rng=random.Random(1)
+            )
+
+
+class TestCells:
+    def test_empty_cell_count_zero_when_everything_covered(self):
+        rng = random.Random(1)
+        # Absurdly dense: every one of the 4 cells occupied.
+        assert empty_cell_count(10.0, 5000, 5.0, rng) == 0
+
+    def test_empty_cell_count_full_when_no_nodes(self):
+        rng = random.Random(1)
+        assert empty_cell_count(10.0, 0, 5.0, rng) == 4
+
+    def test_nodes_for_condition(self):
+        n = nodes_for_condition(100.0, 3.0, k=3.0)
+        expected = 3.0 * 100.0**2 * math.log(100.0) / 9.0
+        assert n == math.ceil(expected)
+
+    def test_condition_requires_side_above_one(self):
+        with pytest.raises(ValueError):
+            nodes_for_condition(1.0, 3.0, 3.0)
+
+    def test_lemma31_dichotomy(self):
+        """k > 2 drives E[#empty] toward 0; k far below 2 leaves many."""
+        rng = random.Random(2)
+        high_k = empty_cells_vs_side([60.0], 3.0, k=3.0, trials=3, rng=rng)
+        low_k = empty_cells_vs_side([60.0], 3.0, k=0.5, trials=3, rng=rng)
+        assert high_k[0][1] < low_k[0][1]
+
+    def test_high_k_vanishing_empties(self):
+        rng = random.Random(3)
+        rows = empty_cells_vs_side([40.0, 80.0], 3.0, k=4.0, trials=2, rng=rng)
+        assert rows[-1][1] <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            empty_cell_count(0.0, 10, 1.0, random.Random(1))
+        with pytest.raises(ValueError):
+            empty_cells_vs_side([10.0], 1.0, 3.0, trials=0, rng=random.Random(1))
+
+
+class TestEstimation:
+    def test_clt_quantile_scales_inverse_sqrt_k(self):
+        assert relative_error_quantile(64, 0.99) == pytest.approx(
+            relative_error_quantile(16, 0.99) / 2.0
+        )
+
+    def test_paper_claim_quantified(self):
+        """§2.2.1 claims 1% error at 99% confidence for k >= 16; the CLT
+        actually requires k ~ 66000 — the discrepancy we report in
+        EXPERIMENTS.md."""
+        assert relative_error_quantile(16, 0.99) > 0.5
+        assert 60000 < k_for_error(0.01, 0.99) < 70000
+
+    def test_simulated_errors_match_clt_scale(self):
+        rng = random.Random(4)
+        errors_16 = simulate_estimator_errors(16, 0.02, 3000, rng)
+        errors_64 = simulate_estimator_errors(64, 0.02, 3000, rng)
+        rms_16 = (sum(e * e for e in errors_16) / len(errors_16)) ** 0.5
+        rms_64 = (sum(e * e for e in errors_64) / len(errors_64)) ** 0.5
+        assert rms_16 == pytest.approx(1 / 4.0, rel=0.3)
+        assert rms_64 == pytest.approx(1 / 8.0, rel=0.3)
+
+    def test_estimator_nearly_unbiased_at_large_k(self):
+        rng = random.Random(5)
+        errors = simulate_estimator_errors(128, 0.02, 4000, rng)
+        assert abs(sum(errors) / len(errors)) < 0.03
+
+    def test_merged_poisson_rate_is_sum(self):
+        """Equation 3: superposed Poisson processes sum their rates."""
+        rng = random.Random(6)
+        total, intervals = merged_interval_samples(
+            [0.01, 0.02, 0.03], samples=8000, rng=rng
+        )
+        assert total == pytest.approx(0.06)
+        mean_interval = sum(intervals) / len(intervals)
+        assert mean_interval == pytest.approx(1 / 0.06, rel=0.08)
+
+    def test_merged_intervals_exponential_cv(self):
+        """Exponential intervals have coefficient of variation ~1."""
+        rng = random.Random(7)
+        _, intervals = merged_interval_samples([0.05, 0.05], samples=8000, rng=rng)
+        mean = sum(intervals) / len(intervals)
+        var = sum((x - mean) ** 2 for x in intervals) / len(intervals)
+        assert math.sqrt(var) / mean == pytest.approx(1.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_error_quantile(0, 0.99)
+        with pytest.raises(ValueError):
+            relative_error_quantile(16, 1.5)
+        with pytest.raises(ValueError):
+            k_for_error(0.0, 0.99)
+        with pytest.raises(ValueError):
+            simulate_estimator_errors(4, 0.0, 10, random.Random(1))
+        with pytest.raises(ValueError):
+            merged_interval_samples([], 10, random.Random(1))

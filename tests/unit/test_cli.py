@@ -1,0 +1,55 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.nodes == 160
+        assert args.failure_rate == pytest.approx(10.66)
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "--nodes", "320", "--seed", "5", "--no-traffic"]
+        )
+        assert args.nodes == 320
+        assert args.seed == 5
+        assert args.no_traffic
+
+    def test_all_artifact_commands_exist(self):
+        parser = build_parser()
+        for name in ("fig9", "fig10", "fig11", "table1", "fig12", "fig13", "fig14"):
+            assert parser.parse_args([name]).command == name
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    def test_estimator_command(self, capsys):
+        assert main(["estimator", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "k-interval estimator" in out
+        assert "66" in out  # k_for_error magnitude
+
+    def test_connectivity_command(self, capsys):
+        assert main(["connectivity", "--trials", "2", "--nodes", "150",
+                     "--side", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "P(connected)" in out
+
+    def test_run_command_small(self, capsys, monkeypatch):
+        # Tiny population on the full field finishes quickly.
+        assert main(["run", "--nodes", "12", "--seed", "1", "--no-traffic",
+                     "--failure-rate", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "total wakeups" in out
+        assert "coverage lifetime" in out

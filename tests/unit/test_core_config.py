@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.config.PEASConfig."""
+
+import pytest
+
+from repro.core import PEASConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        config = PEASConfig()
+        assert config.probe_range_m == 3.0
+        assert config.initial_rate_hz == 0.1
+        assert config.desired_rate_hz == 0.02
+        assert config.measurement_window_k == 32
+        assert config.num_probes == 3
+        assert config.probe_window_s == pytest.approx(0.100)
+
+    def test_desired_gap(self):
+        assert PEASConfig().desired_gap_s() == pytest.approx(50.0)
+
+    def test_mean_initial_sleep(self):
+        assert PEASConfig().mean_initial_sleep_s() == pytest.approx(10.0)
+
+    def test_effective_horizon_default_two_gaps(self):
+        assert PEASConfig().effective_horizon_s() == pytest.approx(100.0)
+
+    def test_effective_horizon_override(self):
+        config = PEASConfig(measurement_horizon_s=42.0)
+        assert config.effective_horizon_s() == 42.0
+
+
+class TestWith:
+    def test_with_replaces_field(self):
+        config = PEASConfig().with_(probe_range_m=5.0)
+        assert config.probe_range_m == 5.0
+        assert config.desired_rate_hz == 0.02
+
+    def test_original_unchanged(self):
+        base = PEASConfig()
+        base.with_(num_probes=1)
+        assert base.num_probes == 3
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            PEASConfig().with_(probe_range_m=-1.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"probe_range_m": 0.0},
+            {"initial_rate_hz": 0.0},
+            {"desired_rate_hz": -0.5},
+            {"num_probes": 0},
+            {"probe_window_s": 0.0},
+            {"probe_gap_s": -0.01},
+            {"reply_guard_s": -0.01},
+            {"measurement_window_k": 0},
+            {"measurement_mode": "psychic"},
+            {"measurement_horizon_s": 0.0},
+            {"min_rate_hz": 0.0},
+            {"min_rate_hz": 3.0},  # > max_rate_hz
+            {"max_adjust_factor": 0.5},
+            {"probe_dedupe_window": 0},
+            {"initial_rate_hz": 5.0},  # above max_rate_hz
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            PEASConfig(**kwargs)
+
+    def test_none_adjust_factor_allowed(self):
+        assert PEASConfig(max_adjust_factor=None).max_adjust_factor is None
+
+    def test_windowed_mode_allowed(self):
+        assert PEASConfig(measurement_mode="windowed").measurement_mode == "windowed"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PEASConfig().num_probes = 5

@@ -1,0 +1,116 @@
+"""Unit tests for repro.net.deployment generators."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    DEPLOYMENTS,
+    Field,
+    clustered_deployment,
+    corner_heavy_deployment,
+    grid_deployment,
+    uniform_deployment,
+)
+
+
+@pytest.fixture
+def field():
+    return Field(50.0, 50.0)
+
+
+class TestUniform:
+    def test_count(self, field):
+        assert len(uniform_deployment(field, 100, random.Random(1))) == 100
+
+    def test_zero_nodes(self, field):
+        assert uniform_deployment(field, 0, random.Random(1)) == []
+
+    def test_negative_rejected(self, field):
+        with pytest.raises(ValueError):
+            uniform_deployment(field, -1, random.Random(1))
+
+    def test_all_inside(self, field):
+        points = uniform_deployment(field, 500, random.Random(2))
+        assert all(field.contains(p) for p in points)
+
+    def test_deterministic_per_seed(self, field):
+        a = uniform_deployment(field, 50, random.Random(3))
+        b = uniform_deployment(field, 50, random.Random(3))
+        assert a == b
+
+    def test_roughly_uniform_quadrants(self, field):
+        points = uniform_deployment(field, 4000, random.Random(4))
+        q1 = sum(1 for x, y in points if x < 25 and y < 25)
+        assert 0.2 < q1 / len(points) < 0.3
+
+
+class TestGrid:
+    def test_count(self, field):
+        assert len(grid_deployment(field, 100, random.Random(1))) == 100
+
+    def test_all_inside(self, field):
+        points = grid_deployment(field, 163, random.Random(1))
+        assert all(field.contains(p) for p in points)
+
+    def test_zero(self, field):
+        assert grid_deployment(field, 0, random.Random(1)) == []
+
+    def test_no_jitter_is_regular(self, field):
+        points = grid_deployment(field, 25, random.Random(1), jitter=0.0)
+        xs = sorted({round(p[0], 6) for p in points})
+        assert len(xs) == 5  # 5x5 lattice
+
+
+class TestClustered:
+    def test_count_and_containment(self, field):
+        points = clustered_deployment(field, 200, random.Random(1))
+        assert len(points) == 200
+        assert all(field.contains(p) for p in points)
+
+    def test_invalid_clusters(self, field):
+        with pytest.raises(ValueError):
+            clustered_deployment(field, 10, random.Random(1), clusters=0)
+
+    def test_is_less_uniform_than_uniform(self, field):
+        """Clustered deployments concentrate mass: the busiest 10x10 block
+        holds a larger share of the nodes than under uniform placement."""
+        rng = random.Random(5)
+
+        def busiest_share(points):
+            counts = {}
+            for x, y in points:
+                key = (int(x // 10), int(y // 10))
+                counts[key] = counts.get(key, 0) + 1
+            return max(counts.values()) / len(points)
+
+        clustered = clustered_deployment(field, 600, rng, clusters=2,
+                                         spread_fraction=0.05)
+        uniform = uniform_deployment(field, 600, rng)
+        assert busiest_share(clustered) > busiest_share(uniform)
+
+
+class TestCornerHeavy:
+    def test_count_and_containment(self, field):
+        points = corner_heavy_deployment(field, 150, random.Random(1))
+        assert len(points) == 150
+        assert all(field.contains(p) for p in points)
+
+    def test_bias_validation(self, field):
+        with pytest.raises(ValueError):
+            corner_heavy_deployment(field, 10, random.Random(1), bias=1.5)
+
+    def test_origin_quadrant_overweighted(self, field):
+        points = corner_heavy_deployment(field, 2000, random.Random(2), bias=0.8)
+        origin_quadrant = sum(1 for x, y in points if x <= 25 and y <= 25)
+        assert origin_quadrant / len(points) > 0.6
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(DEPLOYMENTS) == {"uniform", "grid", "clustered", "corner_heavy"}
+
+    def test_registry_callables_work(self, field):
+        for name, generator in DEPLOYMENTS.items():
+            points = generator(field, 10, random.Random(0))
+            assert len(points) == 10, name

@@ -1,0 +1,201 @@
+"""Unit tests for the experiments harness (metrics, scenario, tables, paper)."""
+
+import pytest
+
+from repro.experiments import (
+    DEPLOYMENT_NUMBERS,
+    FAILURE_RATES,
+    MeanStd,
+    RunResult,
+    Scenario,
+    aggregate_lifetimes,
+    aggregate_values,
+    deployment_scenarios,
+    expand_seeds,
+    failure_scenarios,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    fig14_rows,
+    fmt,
+    format_series,
+    format_table,
+    group_by,
+    table1_rows,
+)
+
+
+def result(n=160, seed=0, rate=10.66, **kwargs):
+    defaults = dict(
+        num_nodes=n,
+        seed=seed,
+        failure_rate_per_5000s=rate,
+        end_time=10000.0,
+        coverage_lifetimes={3: 5000.0, 4: 4800.0, 5: 4500.0},
+        delivery_lifetime=5500.0,
+        total_wakeups=1000,
+        energy_total_j=8000.0,
+        energy_overhead_j=12.0,
+        failures_injected=20,
+    )
+    defaults.update(kwargs)
+    return RunResult(**defaults)
+
+
+class TestRunResult:
+    def test_overhead_ratio(self):
+        assert result().energy_overhead_ratio == pytest.approx(12.0 / 8000.0)
+
+    def test_overhead_ratio_zero_total(self):
+        assert result(energy_total_j=0.0).energy_overhead_ratio == 0.0
+
+    def test_failure_fraction(self):
+        assert result().failure_fraction == pytest.approx(20 / 160)
+
+
+class TestAggregation:
+    def test_mean_std(self):
+        stats = aggregate_values([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx((2 / 3) ** 0.5)
+        assert stats.n == 3
+
+    def test_missing_values_skipped(self):
+        stats = aggregate_values([1.0, None, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.n == 2
+
+    def test_all_missing(self):
+        assert aggregate_values([None, None]) is None
+
+    def test_aggregate_lifetimes(self):
+        runs = [result(coverage_lifetimes={4: 100.0}),
+                result(coverage_lifetimes={4: 200.0})]
+        assert aggregate_lifetimes(runs, 4).mean == pytest.approx(150.0)
+
+    def test_meanstd_format(self):
+        text = f"{MeanStd(10.0, 1.0, 3):.1f}"
+        assert "10.0" in text and "1.0" in text
+
+
+class TestScenario:
+    def test_paper_defaults(self):
+        scenario = Scenario()
+        assert scenario.field_size == (50.0, 50.0)
+        assert scenario.failure_per_5000s == pytest.approx(10.66)
+        assert scenario.report_interval_s == 10.0
+        assert scenario.lifetime_threshold == 0.90
+
+    def test_source_sink_corners(self):
+        scenario = Scenario()
+        assert scenario.source == (0.0, 0.0)
+        assert scenario.sink == (50.0, 50.0)
+
+    def test_with_copy(self):
+        scenario = Scenario().with_(num_nodes=480)
+        assert scenario.num_nodes == 480
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(num_nodes=0)
+        with pytest.raises(ValueError):
+            Scenario(deployment="teleport")
+        with pytest.raises(ValueError):
+            Scenario(failure_per_5000s=-1.0)
+        with pytest.raises(ValueError):
+            Scenario(max_time_s=0.0)
+
+
+class TestSweepHelpers:
+    def test_expand_seeds(self):
+        scenarios = expand_seeds([Scenario(num_nodes=160)], [0, 1, 2])
+        assert [s.seed for s in scenarios] == [0, 1, 2]
+
+    def test_group_by(self):
+        results = [result(n=160), result(n=320), result(n=160, seed=1)]
+        groups = group_by(results, lambda r: r.num_nodes)
+        assert len(groups[160]) == 2
+        assert len(groups[320]) == 1
+
+
+class TestPaperDefinitions:
+    def test_deployment_numbers(self):
+        assert DEPLOYMENT_NUMBERS == (160, 320, 480, 640, 800)
+
+    def test_failure_rates_span(self):
+        assert FAILURE_RATES[0] == pytest.approx(5.33)
+        assert FAILURE_RATES[-1] == pytest.approx(48.0)
+        assert len(FAILURE_RATES) == 9
+
+    def test_deployment_scenarios(self):
+        scenarios = deployment_scenarios([0, 1])
+        assert len(scenarios) == 10
+        assert {s.num_nodes for s in scenarios} == set(DEPLOYMENT_NUMBERS)
+        assert all(s.failure_per_5000s == pytest.approx(10.66) for s in scenarios)
+
+    def test_failure_scenarios(self):
+        scenarios = failure_scenarios([0])
+        assert len(scenarios) == 9
+        assert all(s.num_nodes == 480 for s in scenarios)
+
+
+class TestRowBuilders:
+    def groups(self):
+        return {
+            160: [result(n=160), result(n=160, seed=1,
+                                        coverage_lifetimes={3: 5200, 4: 5000, 5: 4700},
+                                        delivery_lifetime=5700.0,
+                                        total_wakeups=1200)],
+            320: [result(n=320, coverage_lifetimes={3: 10000, 4: 9500, 5: 9000},
+                         delivery_lifetime=11000.0, total_wakeups=5000)],
+        }
+
+    def test_fig9(self):
+        rows = fig9_rows(self.groups())
+        assert rows[0][0] == 160
+        assert rows[0][2] == pytest.approx(4900.0)  # mean of 4800, 5000
+        assert rows[1][1] == pytest.approx(10000.0)
+
+    def test_fig10(self):
+        rows = fig10_rows(self.groups())
+        assert rows[0][1] == pytest.approx(5600.0)
+
+    def test_fig11(self):
+        rows = fig11_rows(self.groups())
+        assert rows[0][1] == pytest.approx(1100.0)
+
+    def test_table1(self):
+        rows = table1_rows(self.groups())
+        assert rows[0][1] == pytest.approx(12.0)
+        assert rows[0][2] == pytest.approx(100 * 12.0 / 8000.0)
+
+    def test_fig12_and_fig14(self):
+        groups = {5.33: [result(rate=5.33)], 48.0: [result(rate=48.0)]}
+        rows12 = fig12_rows(groups)
+        assert rows12[0][0] == 5.33
+        rows14 = fig14_rows(groups)
+        assert rows14[-1][0] == 48.0
+        assert rows14[0][1] == pytest.approx(1000.0)
+
+
+class TestTables:
+    def test_fmt_none(self):
+        assert fmt(None) == "-"
+
+    def test_fmt_int(self):
+        assert fmt(160) == "160"
+
+    def test_fmt_float_spec(self):
+        assert fmt(3.14159, ".2f") == "3.14"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series("x", "y", [[1, 2.0]])
+        assert "x" in text and "2.0" in text

@@ -1,0 +1,55 @@
+"""Unit tests for repro.core.extensions (§4 features)."""
+
+import pytest
+
+from repro.core import PEASConfig, ReceptionFilter, overlap_should_sleep
+from repro.net import RadioModel
+
+
+class TestReceptionFilterVariablePower:
+    def test_accepts_everything(self):
+        filt = ReceptionFilter(PEASConfig(fixed_power=False), RadioModel())
+        assert filt.accepts(1e-9)
+        assert filt.accepts(100.0)
+
+    def test_tx_range_is_probe_range(self):
+        filt = ReceptionFilter(PEASConfig(fixed_power=False), RadioModel())
+        assert filt.tx_range == 3.0
+
+
+class TestReceptionFilterFixedPower:
+    def test_tx_range_is_max_range(self):
+        filt = ReceptionFilter(PEASConfig(fixed_power=True), RadioModel())
+        assert filt.tx_range == 10.0
+
+    def test_threshold_equivalent_to_probe_range(self):
+        radio = RadioModel()
+        filt = ReceptionFilter(PEASConfig(fixed_power=True), radio)
+        assert filt.accepts(radio.rssi(2.9))
+        assert not filt.accepts(radio.rssi(3.1))
+
+    def test_threshold_boundary(self):
+        radio = RadioModel()
+        filt = ReceptionFilter(PEASConfig(fixed_power=True), radio)
+        assert filt.accepts(radio.threshold_for_range(3.0))
+
+
+class TestOverlapRule:
+    def test_younger_yields(self):
+        assert overlap_should_sleep(10.0, 100.0) is True
+
+    def test_older_stays(self):
+        assert overlap_should_sleep(100.0, 10.0) is False
+
+    def test_tie_stays(self):
+        """Strict comparison: equal ages never turn each other off."""
+        assert overlap_should_sleep(50.0, 50.0) is False
+
+    def test_asymmetric(self):
+        """Exactly one of a pair can ever be told to sleep."""
+        for a, b in [(1.0, 2.0), (7.0, 3.0), (0.0, 0.0)]:
+            assert not (overlap_should_sleep(a, b) and overlap_should_sleep(b, a))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_should_sleep(-1.0, 5.0)

@@ -1,0 +1,81 @@
+"""Unit tests for repro.net.field."""
+
+import random
+
+import pytest
+
+from repro.net import Field, distance, distance_sq
+
+
+class TestDistance:
+    def test_zero_distance(self):
+        assert distance((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+    def test_pythagoras(self):
+        assert distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_sq_matches(self):
+        a, b = (1.0, 1.0), (4.0, 5.0)
+        assert distance_sq(a, b) == pytest.approx(distance(a, b) ** 2)
+
+    def test_symmetry(self):
+        a, b = (0.5, 2.5), (7.0, 1.0)
+        assert distance(a, b) == distance(b, a)
+
+
+class TestField:
+    def test_area(self):
+        assert Field(50.0, 40.0).area == 2000.0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Field(0.0, 10.0)
+        with pytest.raises(ValueError):
+            Field(10.0, -1.0)
+
+    def test_contains_interior_and_boundary(self):
+        field = Field(10.0, 10.0)
+        assert field.contains((5.0, 5.0))
+        assert field.contains((0.0, 0.0))
+        assert field.contains((10.0, 10.0))
+
+    def test_contains_rejects_outside(self):
+        field = Field(10.0, 10.0)
+        assert not field.contains((10.1, 5.0))
+        assert not field.contains((5.0, -0.1))
+
+    def test_clamp(self):
+        field = Field(10.0, 10.0)
+        assert field.clamp((-5.0, 20.0)) == (0.0, 10.0)
+        assert field.clamp((3.0, 4.0)) == (3.0, 4.0)
+
+    def test_random_points_inside(self):
+        field = Field(30.0, 20.0)
+        rng = random.Random(1)
+        for _ in range(200):
+            assert field.contains(field.random_point(rng))
+
+    def test_corners(self):
+        corners = Field(5.0, 7.0).corners()
+        assert corners == ((0.0, 0.0), (5.0, 0.0), (5.0, 7.0), (0.0, 7.0))
+
+    def test_grid_points_count(self):
+        field = Field(10.0, 10.0)
+        points = list(field.grid_points(5.0))
+        assert len(points) == 9  # 3 x 3 lattice
+
+    def test_grid_points_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            list(Field(10.0, 10.0).grid_points(0.0))
+
+    def test_grid_points_inside_field(self):
+        field = Field(7.3, 4.1)
+        assert all(field.contains(p) for p in field.grid_points(1.0))
+
+    def test_str(self):
+        assert "50" in str(Field(50.0, 50.0))
+
+    def test_frozen(self):
+        field = Field(10.0, 10.0)
+        with pytest.raises(Exception):
+            field.width = 20.0

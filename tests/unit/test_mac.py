@@ -1,0 +1,158 @@
+"""Unit tests for repro.net.mac timing helpers."""
+
+import random
+
+import pytest
+
+from repro.net import reply_backoff, spread_transmissions
+
+
+class TestReplyBackoff:
+    def test_within_window(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 0.0 <= reply_backoff(rng, 0.04) < 0.04
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            reply_backoff(random.Random(1), 0.0)
+
+    def test_spreads_values(self):
+        rng = random.Random(2)
+        draws = {round(reply_backoff(rng, 0.04), 6) for _ in range(50)}
+        assert len(draws) > 40
+
+
+class TestSpreadTransmissions:
+    def test_single_frame_immediate(self):
+        assert spread_transmissions(random.Random(1), 1, 0.04, 0.01) == [0.0]
+
+    def test_first_frame_always_immediate(self):
+        for seed in range(10):
+            offsets = spread_transmissions(random.Random(seed), 3, 0.04, 0.01)
+            assert offsets[0] == 0.0
+
+    def test_count_respected(self):
+        offsets = spread_transmissions(random.Random(1), 4, 0.09, 0.01)
+        assert len(offsets) == 4
+
+    def test_min_gap_enforced(self):
+        for seed in range(20):
+            offsets = spread_transmissions(random.Random(seed), 3, 0.04, 0.01)
+            for a, b in zip(offsets, offsets[1:]):
+                assert b - a >= 0.01 - 1e-12
+
+    def test_within_window(self):
+        for seed in range(20):
+            offsets = spread_transmissions(random.Random(seed), 3, 0.04, 0.01)
+            assert all(0.0 <= o <= 0.04 + 1e-12 for o in offsets)
+
+    def test_monotonic(self):
+        offsets = spread_transmissions(random.Random(3), 4, 0.12, 0.01)
+        assert offsets == sorted(offsets)
+
+    def test_too_many_frames_rejected(self):
+        with pytest.raises(ValueError):
+            spread_transmissions(random.Random(1), 6, 0.04, 0.01)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            spread_transmissions(random.Random(1), 0, 0.04, 0.01)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            spread_transmissions(random.Random(1), 2, 0.0, 0.01)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            spread_transmissions(random.Random(1), 2, 0.04, -0.01)
+
+    def test_randomized_across_seeds(self):
+        offsets = {
+            tuple(spread_transmissions(random.Random(seed), 3, 0.04, 0.01))
+            for seed in range(10)
+        }
+        assert len(offsets) > 5
+
+
+class TestProbeOffsets:
+    def test_deterministic_slots(self):
+        from repro.net import probe_offsets
+        assert probe_offsets(3, 0.010, 0.002) == [0.0, 0.012, 0.024]
+
+    def test_single(self):
+        from repro.net import probe_offsets
+        assert probe_offsets(1, 0.010, 0.002) == [0.0]
+
+    def test_validation(self):
+        from repro.net import probe_offsets
+        with pytest.raises(ValueError):
+            probe_offsets(0, 0.01, 0.002)
+        with pytest.raises(ValueError):
+            probe_offsets(3, 0.0, 0.002)
+
+
+class TestProbeSpan:
+    def test_span(self):
+        from repro.net import probe_span
+        assert probe_span(3, 0.010, 0.002) == pytest.approx(0.034)
+
+    def test_one_frame(self):
+        from repro.net import probe_span
+        assert probe_span(1, 0.010, 0.002) == pytest.approx(0.010)
+
+
+class TestReplyDelay:
+    AIRTIME, GAP, WINDOW, GUARD = 0.010, 0.002, 0.100, 0.002
+
+    def args(self, index, seed=1):
+        return (random.Random(seed), index, 3, self.AIRTIME, self.GAP,
+                self.WINDOW, self.GUARD)
+
+    def test_reply_never_overlaps_probe_burst(self):
+        """A REPLY's transmission must start after every PROBE is done."""
+        from repro.net import probe_span, reply_delay
+        span = probe_span(3, self.AIRTIME, self.GAP)
+        for seed in range(30):
+            for index in range(3):
+                delay = reply_delay(*self.args(index, seed))
+                arrival = index * (self.AIRTIME + self.GAP) + self.AIRTIME
+                tx_start_from_wakeup = arrival + delay
+                assert tx_start_from_wakeup >= span + self.GUARD - 1e-12
+
+    def test_reply_fits_in_window(self):
+        from repro.net import reply_delay
+        for seed in range(30):
+            for index in range(3):
+                delay = reply_delay(*self.args(index, seed))
+                arrival = index * (self.AIRTIME + self.GAP) + self.AIRTIME
+                assert arrival + delay + self.AIRTIME <= self.WINDOW + 1e-12
+
+    def test_reply_phase_bounds(self):
+        from repro.net import probe_span, reply_phase
+        lo, hi = reply_phase(3, self.AIRTIME, self.GAP, self.WINDOW, self.GUARD)
+        assert lo == pytest.approx(probe_span(3, self.AIRTIME, self.GAP) + self.GUARD)
+        assert hi == pytest.approx(self.WINDOW - self.AIRTIME - self.GUARD)
+        assert lo < hi
+
+    def test_probe_arrival_offset(self):
+        from repro.net import probe_arrival_offset
+        assert probe_arrival_offset(0, 0.010, 0.002) == pytest.approx(0.010)
+        assert probe_arrival_offset(2, 0.010, 0.002) == pytest.approx(0.034)
+
+    def test_delays_randomized(self):
+        from repro.net import reply_delay
+        draws = {round(reply_delay(*self.args(0, seed)), 9) for seed in range(30)}
+        assert len(draws) > 25
+
+    def test_invalid_index(self):
+        from repro.net import reply_delay
+        with pytest.raises(ValueError):
+            reply_delay(random.Random(1), 3, 3, self.AIRTIME, self.GAP,
+                        self.WINDOW, self.GUARD)
+
+    def test_window_too_small(self):
+        from repro.net import reply_delay
+        with pytest.raises(ValueError):
+            reply_delay(random.Random(1), 0, 3, self.AIRTIME, self.GAP,
+                        0.040, self.GUARD)

@@ -1,0 +1,44 @@
+"""Unit tests for the benchmark-scale environment knobs in
+repro.experiments.paper."""
+
+import pytest
+
+from repro.experiments import bench_processes, bench_seeds
+
+
+class TestBenchSeeds:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_seeds() == [0, 1]
+
+    def test_smoke(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert bench_seeds() == [0]
+
+    def test_full_matches_paper(self, monkeypatch):
+        """§5.2: 'the results are averaged over 5 simulation runs'."""
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert bench_seeds() == [0, 1, 2, 3, 4]
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "FULL")
+        assert len(bench_seeds()) == 5
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "enormous")
+        with pytest.raises(ValueError):
+            bench_seeds()
+
+
+class TestBenchProcesses:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "3")
+        assert bench_processes() == 3
+
+    def test_env_floor_of_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "0")
+        assert bench_processes() == 1
+
+    def test_default_bounded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROCESSES", raising=False)
+        assert 1 <= bench_processes() <= 8

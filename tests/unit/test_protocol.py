@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.protocol.PEASNetwork wiring."""
+
+import pytest
+
+from repro.core import PEASConfig, PEASNetwork, validate_timing
+from repro.net import Field, RadioModel
+from repro.sim import RngRegistry, Simulator
+
+from tests.helpers import make_network
+
+
+class TestValidateTiming:
+    def test_paper_defaults_fit(self):
+        validate_timing(PEASConfig(), RadioModel())
+
+    def test_too_many_probes_rejected(self):
+        with pytest.raises(ValueError):
+            validate_timing(PEASConfig(num_probes=8), RadioModel())
+
+    def test_short_window_rejected(self):
+        with pytest.raises(ValueError):
+            validate_timing(PEASConfig(probe_window_s=0.04), RadioModel())
+
+    def test_slow_bitrate_rejected(self):
+        """Longer airtime can push the burst past the window."""
+        with pytest.raises(ValueError):
+            validate_timing(PEASConfig(), RadioModel(bitrate_bps=5_000.0))
+
+
+class TestConstruction:
+    def test_nodes_get_sequential_ids(self):
+        sim, network = make_network(num_nodes=5)
+        assert sorted(network.nodes) == [0, 1, 2, 3, 4]
+
+    def test_population(self):
+        sim, network = make_network(num_nodes=12)
+        assert network.population == 12
+
+    def test_position_outside_field_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PEASNetwork(
+                sim, Field(10.0, 10.0), [(50.0, 50.0)], PEASConfig(),
+                RngRegistry(seed=1),
+            )
+
+    def test_batteries_within_profile_range(self):
+        sim, network = make_network(num_nodes=30)
+        for node in network.sensor_nodes():
+            assert 54.0 <= node.battery.initial_j <= 60.0
+
+    def test_anchor_outside_field_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PEASNetwork(
+                sim, Field(10.0, 10.0), [(5.0, 5.0)], PEASConfig(),
+                RngRegistry(seed=1), anchors=[(50.0, 50.0)],
+            )
+
+
+class TestObservers:
+    def test_working_observers_see_starts_and_stops(self):
+        sim, network = make_network(num_nodes=10, field_size=(15.0, 15.0))
+        events = []
+        network.working_observers.append(
+            lambda t, node, started: events.append((t, node.node_id, started))
+        )
+        network.start()
+        sim.run(until=300.0)
+        starts = [e for e in events if e[2]]
+        assert starts
+        assert len(network.working_ids()) == sum(1 for e in events if e[2]) - sum(
+            1 for e in events if not e[2]
+        )
+
+    def test_death_observers_fire(self):
+        sim, network = make_network(num_nodes=5)
+        deaths = []
+        network.death_observers.append(
+            lambda t, node, cause: deaths.append((node.node_id, cause))
+        )
+        network.start()
+        sim.run(until=100.0)
+        network.kill(0)
+        assert len(deaths) == 1
+
+    def test_working_set_tracks_observer_stream(self):
+        sim, network = make_network(num_nodes=20)
+        live = set()
+
+        def observer(t, node, started):
+            if started:
+                live.add(node.node_id)
+            else:
+                live.discard(node.node_id)
+
+        network.working_observers.append(observer)
+        network.start()
+        sim.run(until=6000.0)
+        assert live == set(network.working_ids())
+
+
+class TestEnergyAccounting:
+    def test_frame_energy_lands_in_categories(self):
+        sim, network = make_network(num_nodes=10, field_size=(10.0, 10.0))
+        network.start()
+        sim.run(until=500.0)
+        report = network.energy_report()
+        assert report.by_category.get("probe_tx", 0.0) > 0
+        assert report.by_category.get("probe_idle", 0.0) > 0
+
+    def test_total_bounded_by_initial(self):
+        sim, network = make_network(num_nodes=10)
+        network.start()
+        sim.run(until=10000.0)
+        report = network.energy_report()
+        assert report.total_consumed_j <= network.total_initial_energy() + 1e-6
+
+    def test_overhead_is_small_fraction(self):
+        sim, network = make_network(num_nodes=40)
+        network.start()
+        sim.run(until=6000.0)
+        report = network.energy_report()
+        assert report.overhead_ratio < 0.02  # §1: "less than 1%" at full life
+
+
+class TestKill:
+    def test_kill_removes_from_alive(self):
+        sim, network = make_network(num_nodes=5)
+        network.start()
+        network.kill(3)
+        assert 3 not in network.alive_ids()
+
+    def test_all_dead_after_killing_everyone(self):
+        sim, network = make_network(num_nodes=4)
+        network.start()
+        for node_id in range(4):
+            network.kill(node_id)
+        assert network.all_dead
+
+    def test_working_positions_match_ids(self):
+        sim, network = make_network(num_nodes=15)
+        network.start()
+        sim.run(until=200.0)
+        assert len(network.working_positions()) == len(network.working_ids())

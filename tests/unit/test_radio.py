@@ -1,0 +1,108 @@
+"""Unit tests for repro.net.radio.RadioModel."""
+
+import random
+
+import pytest
+
+from repro.net import PACKET_SIZE_BYTES, RadioModel
+
+
+class TestAirtime:
+    def test_paper_frame_airtime(self):
+        """25 bytes at 20 kbps = 10 ms (§5.1)."""
+        radio = RadioModel()
+        assert radio.airtime(PACKET_SIZE_BYTES) == pytest.approx(0.010)
+
+    def test_scales_with_size(self):
+        radio = RadioModel()
+        assert radio.airtime(50) == pytest.approx(2 * radio.airtime(25))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            RadioModel().airtime(0)
+
+
+class TestRssi:
+    def test_monotonically_decreasing(self):
+        radio = RadioModel()
+        assert radio.rssi(1.0) > radio.rssi(2.0) > radio.rssi(5.0) > radio.rssi(10.0)
+
+    def test_inverse_square_default(self):
+        radio = RadioModel()
+        assert radio.rssi(2.0) == pytest.approx(0.25)
+
+    def test_custom_exponent(self):
+        radio = RadioModel(path_loss_exponent=3.0)
+        assert radio.rssi(2.0) == pytest.approx(1 / 8)
+
+    def test_zero_distance_infinite(self):
+        assert RadioModel().rssi(0.0) == float("inf")
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel().rssi(-1.0)
+
+    def test_irregularity_jitters(self):
+        radio = RadioModel(irregularity=0.3)
+        rng = random.Random(1)
+        values = {radio.rssi(5.0, rng) for _ in range(20)}
+        assert len(values) > 1
+
+    def test_no_rng_means_nominal(self):
+        radio = RadioModel(irregularity=0.3)
+        assert radio.rssi(5.0) == pytest.approx(5.0**-2)
+
+    def test_irregularity_validation(self):
+        with pytest.raises(ValueError):
+            RadioModel(irregularity=1.0)
+
+
+class TestThreshold:
+    def test_threshold_matches_nominal_rssi_at_range(self):
+        radio = RadioModel()
+        assert radio.threshold_for_range(3.0) == pytest.approx(radio.rssi(3.0))
+
+    def test_signal_from_inside_range_passes_threshold(self):
+        radio = RadioModel()
+        threshold = radio.threshold_for_range(3.0)
+        assert radio.rssi(2.5) >= threshold
+        assert radio.rssi(3.5) < threshold
+
+    def test_range_beyond_max_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel(max_range_m=10.0).threshold_for_range(11.0)
+
+    def test_nonpositive_range_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel().threshold_for_range(0.0)
+
+
+class TestTxRangeValidation:
+    def test_valid_range_passes(self):
+        assert RadioModel().validate_tx_range(3.0) == 3.0
+
+    def test_max_range_allowed(self):
+        assert RadioModel(max_range_m=10.0).validate_tx_range(10.0) == 10.0
+
+    def test_exceeding_max_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel(max_range_m=10.0).validate_tx_range(10.5)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel().validate_tx_range(0.0)
+
+
+class TestConstruction:
+    def test_paper_defaults(self):
+        radio = RadioModel()
+        assert radio.bitrate_bps == 20_000.0
+        assert radio.max_range_m == 10.0
+
+    def test_invalid_bitrate(self):
+        with pytest.raises(ValueError):
+            RadioModel(bitrate_bps=0.0)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            RadioModel(path_loss_exponent=0.0)

@@ -1,0 +1,174 @@
+"""Unit tests for the event-detection substrate."""
+
+import random
+
+import pytest
+
+from repro.net import Field
+from repro.sensing import DetectionMonitor, EventOutcome, TargetEvent, generate_events
+from repro.sim import Simulator
+
+
+class FakeNode:
+    def __init__(self, node_id, position):
+        self.node_id = node_id
+        self.position = position
+
+
+class TestTargetEvent:
+    def test_end_time(self):
+        event = TargetEvent((1.0, 1.0), start_time=10.0, dwell_s=50.0)
+        assert event.end_time == 60.0
+
+    def test_unique_ids(self):
+        a = TargetEvent((0.0, 0.0), 0.0, 1.0)
+        b = TargetEvent((0.0, 0.0), 0.0, 1.0)
+        assert a.uid != b.uid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TargetEvent((0.0, 0.0), 0.0, 0.0)
+        with pytest.raises(ValueError):
+            TargetEvent((0.0, 0.0), -1.0, 1.0)
+
+
+class TestEventOutcome:
+    def test_detected_latency(self):
+        event = TargetEvent((0.0, 0.0), 100.0, 50.0)
+        outcome = EventOutcome(event, detected_at=130.0)
+        assert outcome.detected
+        assert outcome.latency_s == pytest.approx(30.0)
+
+    def test_missed(self):
+        event = TargetEvent((0.0, 0.0), 100.0, 50.0)
+        outcome = EventOutcome(event, detected_at=None)
+        assert not outcome.detected
+        assert outcome.latency_s is None
+
+
+class TestGenerateEvents:
+    def test_rate_controls_count(self):
+        field = Field(50.0, 50.0)
+        events = generate_events(field, rate_hz=0.1, horizon_s=10000.0,
+                                 dwell_s=100.0, rng=random.Random(1))
+        assert 800 < len(events) < 1200  # ~1000 expected
+
+    def test_events_inside_field_and_horizon(self):
+        field = Field(30.0, 30.0)
+        events = generate_events(field, 0.05, 2000.0, 100.0, random.Random(2))
+        assert all(field.contains(event.position) for event in events)
+        assert all(0 <= event.start_time < 2000.0 for event in events)
+
+    def test_dwell_jitter(self):
+        field = Field(30.0, 30.0)
+        events = generate_events(field, 0.05, 5000.0, 100.0, random.Random(3),
+                                 dwell_jitter=0.5)
+        dwells = {round(event.dwell_s, 3) for event in events}
+        assert len(dwells) > 5
+        assert all(50.0 <= event.dwell_s <= 150.0 for event in events)
+
+    def test_validation(self):
+        field = Field(10.0, 10.0)
+        with pytest.raises(ValueError):
+            generate_events(field, 0.0, 100.0, 10.0, random.Random(1))
+        with pytest.raises(ValueError):
+            generate_events(field, 0.1, 0.0, 10.0, random.Random(1))
+        with pytest.raises(ValueError):
+            generate_events(field, 0.1, 100.0, 10.0, random.Random(1),
+                            dwell_jitter=1.0)
+
+
+class TestDetectionMonitor:
+    def test_instant_detection_when_covered(self):
+        sim = Simulator()
+        event = TargetEvent((10.0, 10.0), start_time=50.0, dwell_s=100.0)
+        monitor = DetectionMonitor(sim, [event], sensing_range=10.0)
+        monitor.on_working_change(0.0, FakeNode(1, (12.0, 10.0)), True)
+        sim.run(until=60.0)
+        outcome = monitor.outcomes[event.uid]
+        assert outcome.detected
+        assert outcome.latency_s == pytest.approx(0.0)
+
+    def test_delayed_detection_by_replacement(self):
+        sim = Simulator()
+        event = TargetEvent((10.0, 10.0), start_time=50.0, dwell_s=200.0)
+        monitor = DetectionMonitor(sim, [event], sensing_range=10.0)
+        sim.schedule(120.0, monitor.on_working_change, 120.0,
+                     FakeNode(1, (10.0, 11.0)), True)
+        sim.run(until=300.0)
+        outcome = monitor.outcomes[event.uid]
+        assert outcome.detected
+        assert outcome.latency_s == pytest.approx(70.0)
+        assert monitor.delayed_detections() == 1
+
+    def test_missed_event(self):
+        sim = Simulator()
+        event = TargetEvent((10.0, 10.0), start_time=50.0, dwell_s=100.0)
+        monitor = DetectionMonitor(sim, [event], sensing_range=10.0)
+        monitor.on_working_change(0.0, FakeNode(1, (40.0, 40.0)), True)
+        sim.run(until=300.0)
+        outcome = monitor.outcomes[event.uid]
+        assert not outcome.detected
+        assert monitor.detection_ratio() == 0.0
+
+    def test_min_detectors_requires_quorum(self):
+        sim = Simulator()
+        event = TargetEvent((10.0, 10.0), start_time=50.0, dwell_s=200.0)
+        monitor = DetectionMonitor(sim, [event], sensing_range=10.0,
+                                   min_detectors=2)
+        monitor.on_working_change(0.0, FakeNode(1, (12.0, 10.0)), True)
+        sim.run(until=60.0)
+        assert event.uid not in monitor.outcomes  # one observer: not enough
+        monitor.on_working_change(70.0, FakeNode(2, (8.0, 10.0)), True)
+        assert monitor.outcomes[event.uid].detected
+
+    def test_worker_leaving_before_event_does_not_detect(self):
+        sim = Simulator()
+        event = TargetEvent((10.0, 10.0), start_time=50.0, dwell_s=50.0)
+        monitor = DetectionMonitor(sim, [event], sensing_range=10.0)
+        node = FakeNode(1, (10.0, 11.0))
+        monitor.on_working_change(0.0, node, True)
+        sim.schedule(10.0, monitor.on_working_change, 10.0, node, False)
+        sim.run(until=200.0)
+        assert not monitor.outcomes[event.uid].detected
+
+    def test_detection_ratio_and_mean_latency(self):
+        sim = Simulator()
+        events = [
+            TargetEvent((10.0, 10.0), 10.0, 100.0),
+            TargetEvent((40.0, 40.0), 10.0, 100.0),
+        ]
+        monitor = DetectionMonitor(sim, events, sensing_range=10.0)
+        monitor.on_working_change(0.0, FakeNode(1, (10.0, 10.0)), True)
+        sim.run(until=300.0)
+        assert monitor.detection_ratio() == pytest.approx(0.5)
+        assert monitor.mean_latency() == pytest.approx(0.0)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DetectionMonitor(sim, [], sensing_range=0.0)
+        with pytest.raises(ValueError):
+            DetectionMonitor(sim, [], min_detectors=0)
+
+
+class TestDetectionWithPEAS:
+    def test_peas_detects_events_through_failures(self):
+        """End-to-end: events appearing over a PEAS network keep being
+        detected while the network lives, including after failures."""
+        from tests.helpers import make_network
+
+        sim, network = make_network(num_nodes=120, seed=31,
+                                    field_size=(30.0, 30.0))
+        events = generate_events(
+            Field(30.0, 30.0), rate_hz=0.02, horizon_s=3000.0, dwell_s=120.0,
+            rng=random.Random(4),
+        )
+        monitor = DetectionMonitor(sim, events, sensing_range=10.0)
+        network.working_observers.append(monitor.on_working_change)
+        network.start()
+        sim.run(until=200.0)
+        for victim in list(network.working_ids())[:10]:
+            network.kill(victim)
+        sim.run(until=3500.0)
+        assert monitor.detection_ratio() > 0.95

@@ -1,0 +1,70 @@
+"""Unit tests for repro.sim.events."""
+
+import pytest
+
+from repro.sim import PRIORITY_DEFAULT, PRIORITY_HIGH, PRIORITY_LOW
+from repro.sim.events import Event
+
+
+def noop():
+    pass
+
+
+class TestEventConstruction:
+    def test_stores_time_and_label(self):
+        event = Event(3.5, noop, label="tick")
+        assert event.time == 3.5
+        assert event.label == "tick"
+
+    def test_default_priority(self):
+        assert Event(0.0, noop).priority == PRIORITY_DEFAULT
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(float("nan"), noop)
+
+    def test_time_coerced_to_float(self):
+        assert isinstance(Event(1, noop).time, float)
+
+    def test_sequence_numbers_increase(self):
+        first = Event(0.0, noop)
+        second = Event(0.0, noop)
+        assert second.seq > first.seq
+
+
+class TestEventOrdering:
+    def test_earlier_time_sorts_first(self):
+        assert Event(1.0, noop) < Event(2.0, noop)
+
+    def test_priority_breaks_time_ties(self):
+        low = Event(1.0, noop, priority=PRIORITY_LOW)
+        high = Event(1.0, noop, priority=PRIORITY_HIGH)
+        assert high < low
+
+    def test_sequence_breaks_full_ties(self):
+        first = Event(1.0, noop)
+        second = Event(1.0, noop)
+        assert first < second
+
+    def test_priority_constants_ordered(self):
+        assert PRIORITY_HIGH < PRIORITY_DEFAULT < PRIORITY_LOW
+
+
+class TestEventLifecycle:
+    def test_fire_invokes_callback_with_args(self):
+        calls = []
+        event = Event(0.0, calls.append, args=("x",))
+        event.fire()
+        assert calls == ["x"]
+
+    def test_cancel_marks_cancelled(self):
+        event = Event(0.0, noop)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancel_is_idempotent(self):
+        event = Event(0.0, noop)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled

@@ -1,0 +1,117 @@
+"""Unit tests for repro.sim.trace collectors."""
+
+import pytest
+
+from repro.sim import CounterSet, SeriesRecorder, TimeWeightedValue, TraceLog
+
+
+class TestCounterSet:
+    def test_starts_at_zero(self):
+        assert CounterSet().get("anything") == 0
+
+    def test_incr_default_one(self):
+        counters = CounterSet()
+        counters.incr("a")
+        counters.incr("a")
+        assert counters.get("a") == 2
+
+    def test_incr_amount(self):
+        counters = CounterSet()
+        counters.incr("a", 5)
+        assert counters.get("a") == 5
+
+    def test_as_dict_snapshot(self):
+        counters = CounterSet()
+        counters.incr("x")
+        snapshot = counters.as_dict()
+        counters.incr("x")
+        assert snapshot == {"x": 1}
+
+
+class TestTimeWeightedValue:
+    def test_constant_signal_mean(self):
+        twv = TimeWeightedValue(initial=3.0)
+        assert twv.mean(10.0) == pytest.approx(3.0)
+
+    def test_step_change_mean(self):
+        twv = TimeWeightedValue(initial=0.0)
+        twv.update(10.0, 5.0)
+        assert twv.mean(20.0) == pytest.approx(2.5)
+
+    def test_integral(self):
+        twv = TimeWeightedValue(initial=2.0)
+        twv.update(5.0, 4.0)
+        assert twv.integral(10.0) == pytest.approx(2.0 * 5 + 4.0 * 5)
+
+    def test_add_delta(self):
+        twv = TimeWeightedValue(initial=1.0)
+        twv.add(5.0, 2.0)
+        assert twv.value == 3.0
+
+    def test_time_backwards_rejected(self):
+        twv = TimeWeightedValue()
+        twv.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            twv.update(4.0, 2.0)
+
+    def test_nonzero_start_time(self):
+        twv = TimeWeightedValue(initial=2.0, start_time=10.0)
+        assert twv.mean(20.0) == pytest.approx(2.0)
+
+
+class TestSeriesRecorder:
+    def test_record_and_read(self):
+        series = SeriesRecorder()
+        series.record("s", 1.0, 0.5)
+        series.record("s", 2.0, 0.7)
+        assert series.samples("s") == [(1.0, 0.5), (2.0, 0.7)]
+
+    def test_missing_series_empty(self):
+        assert SeriesRecorder().samples("nope") == []
+
+    def test_last(self):
+        series = SeriesRecorder()
+        assert series.last("s") is None
+        series.record("s", 1.0, 9.0)
+        assert series.last("s") == (1.0, 9.0)
+
+    def test_names_sorted(self):
+        series = SeriesRecorder()
+        series.record("b", 0.0, 0.0)
+        series.record("a", 0.0, 0.0)
+        assert series.names() == ["a", "b"]
+
+    def test_first_time_below(self):
+        series = SeriesRecorder()
+        for t, v in [(0, 1.0), (10, 0.95), (20, 0.85), (30, 0.5)]:
+            series.record("cov", t, v)
+        assert series.first_time_below("cov", 0.9) == 20
+
+    def test_first_time_below_never(self):
+        series = SeriesRecorder()
+        series.record("cov", 0, 1.0)
+        assert series.first_time_below("cov", 0.9) is None
+
+
+class TestTraceLog:
+    def test_disabled_by_default(self):
+        log = TraceLog()
+        log.log(0.0, "evt", "detail")
+        assert len(log) == 0
+
+    def test_enabled_records(self):
+        log = TraceLog(enabled=True)
+        log.log(1.0, "probe", 42)
+        assert log.entries() == [(1.0, "probe", (42,))]
+
+    def test_kind_filter(self):
+        log = TraceLog(enabled=True)
+        log.log(1.0, "a")
+        log.log(2.0, "b")
+        assert [e[1] for e in log.entries("a")] == ["a"]
+
+    def test_capacity_cap(self):
+        log = TraceLog(enabled=True, capacity=2)
+        for i in range(5):
+            log.log(float(i), "x")
+        assert len(log) == 2

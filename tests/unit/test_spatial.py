@@ -1,0 +1,106 @@
+"""Unit tests for repro.net.spatial.SpatialGrid."""
+
+import random
+
+import pytest
+
+from repro.net import Field, SpatialGrid, distance
+
+
+@pytest.fixture
+def grid():
+    return SpatialGrid(Field(50.0, 50.0), cell_size=3.0)
+
+
+class TestBasics:
+    def test_insert_and_contains(self, grid):
+        grid.insert("a", (1.0, 1.0))
+        assert "a" in grid
+        assert len(grid) == 1
+
+    def test_duplicate_insert_rejected(self, grid):
+        grid.insert("a", (1.0, 1.0))
+        with pytest.raises(KeyError):
+            grid.insert("a", (2.0, 2.0))
+
+    def test_remove(self, grid):
+        grid.insert("a", (1.0, 1.0))
+        grid.remove("a")
+        assert "a" not in grid
+        assert len(grid) == 0
+
+    def test_remove_missing_raises(self, grid):
+        with pytest.raises(KeyError):
+            grid.remove("ghost")
+
+    def test_position_lookup(self, grid):
+        grid.insert("a", (4.0, 5.0))
+        assert grid.position("a") == (4.0, 5.0)
+
+    def test_bulk_insert(self, grid):
+        grid.bulk_insert([("a", (0.0, 0.0)), ("b", (1.0, 1.0))])
+        assert len(grid) == 2
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(Field(10.0, 10.0), cell_size=0.0)
+
+
+class TestWithin:
+    def test_finds_points_in_radius(self, grid):
+        grid.insert("near", (10.0, 10.0))
+        grid.insert("far", (30.0, 30.0))
+        assert grid.within((11.0, 10.0), 2.0) == ["near"]
+
+    def test_radius_boundary_inclusive(self, grid):
+        grid.insert("edge", (13.0, 10.0))
+        assert grid.within((10.0, 10.0), 3.0) == ["edge"]
+
+    def test_empty_result(self, grid):
+        grid.insert("a", (0.0, 0.0))
+        assert grid.within((49.0, 49.0), 5.0) == []
+
+    def test_negative_radius_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.within((0.0, 0.0), -1.0)
+
+    def test_radius_spanning_many_cells(self, grid):
+        for i in range(10):
+            grid.insert(i, (i * 5.0, 25.0))
+        found = grid.within((25.0, 25.0), 12.0)
+        expected = [i for i in range(10) if abs(i * 5.0 - 25.0) <= 12.0]
+        assert sorted(found) == expected
+
+    def test_matches_brute_force_on_random_points(self):
+        rng = random.Random(7)
+        field = Field(40.0, 40.0)
+        grid = SpatialGrid(field, cell_size=4.0)
+        points = {i: field.random_point(rng) for i in range(120)}
+        for i, p in points.items():
+            grid.insert(i, p)
+        for _ in range(30):
+            center = field.random_point(rng)
+            radius = rng.uniform(0.5, 15.0)
+            expected = sorted(
+                i for i, p in points.items() if distance(p, center) <= radius
+            )
+            assert sorted(grid.within(center, radius)) == expected
+
+
+class TestNearest:
+    def test_single_point(self, grid):
+        grid.insert("only", (20.0, 20.0))
+        assert grid.nearest((0.0, 0.0)) == "only"
+
+    def test_picks_closest(self, grid):
+        grid.insert("a", (10.0, 10.0))
+        grid.insert("b", (12.0, 10.0))
+        assert grid.nearest((12.5, 10.0)) == "b"
+
+    def test_empty_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.nearest((0.0, 0.0))
+
+    def test_items_iteration(self, grid):
+        grid.insert("a", (1.0, 2.0))
+        assert dict(grid.items()) == {"a": (1.0, 2.0)}

@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.states and repro.core.messages."""
+
+import pytest
+
+from repro.core import (
+    LEGAL_TRANSITIONS,
+    DeathCause,
+    NodeMode,
+    ProbeMessage,
+    ReplyMessage,
+    check_transition,
+)
+
+
+class TestStates:
+    def test_figure1_edges_present(self):
+        assert NodeMode.PROBING in LEGAL_TRANSITIONS[NodeMode.SLEEPING]
+        assert NodeMode.SLEEPING in LEGAL_TRANSITIONS[NodeMode.PROBING]
+        assert NodeMode.WORKING in LEGAL_TRANSITIONS[NodeMode.PROBING]
+
+    def test_overlap_resolution_edge(self):
+        """§4 adds Working -> Sleeping."""
+        assert NodeMode.SLEEPING in LEGAL_TRANSITIONS[NodeMode.WORKING]
+
+    def test_death_reachable_from_all_live_modes(self):
+        for mode in (NodeMode.SLEEPING, NodeMode.PROBING, NodeMode.WORKING):
+            assert NodeMode.DEAD in LEGAL_TRANSITIONS[mode]
+
+    def test_dead_is_terminal(self):
+        assert LEGAL_TRANSITIONS[NodeMode.DEAD] == frozenset()
+
+    def test_no_sleeping_to_working_shortcut(self):
+        """Figure 1: a node must probe before working."""
+        assert NodeMode.WORKING not in LEGAL_TRANSITIONS[NodeMode.SLEEPING]
+
+    def test_check_transition_accepts_legal(self):
+        check_transition(NodeMode.SLEEPING, NodeMode.PROBING)
+
+    def test_check_transition_rejects_illegal(self):
+        with pytest.raises(ValueError):
+            check_transition(NodeMode.SLEEPING, NodeMode.WORKING)
+        with pytest.raises(ValueError):
+            check_transition(NodeMode.DEAD, NodeMode.SLEEPING)
+
+    def test_death_causes(self):
+        assert DeathCause.ENERGY.value == "energy"
+        assert DeathCause.FAILURE.value == "failure"
+
+
+class TestProbeMessage:
+    def test_wakeup_key(self):
+        message = ProbeMessage(prober_id=7, wakeup_seq=3, probe_index=1)
+        assert message.wakeup_key == (7, 3)
+
+    def test_probe_index_excluded_from_key(self):
+        """All frames of one wakeup share the key (measurement dedup)."""
+        first = ProbeMessage(7, 3, 0)
+        second = ProbeMessage(7, 3, 2)
+        assert first.wakeup_key == second.wakeup_key
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeMessage(1, -1)
+        with pytest.raises(ValueError):
+            ProbeMessage(1, 0, probe_index=-2)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ProbeMessage(1, 0).wakeup_seq = 5
+
+
+class TestReplyMessage:
+    def test_carries_adaptive_sleeping_feedback(self):
+        reply = ReplyMessage(
+            worker_id=2, measured_rate=0.05, desired_rate=0.02, working_duration=120.0
+        )
+        assert reply.measured_rate == 0.05
+        assert reply.desired_rate == 0.02
+        assert reply.working_duration == 120.0
+
+    def test_none_measurement_allowed(self):
+        reply = ReplyMessage(2, None, 0.02, 0.0)
+        assert reply.measured_rate is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplyMessage(2, 0.0, 0.02, 0.0)
+        with pytest.raises(ValueError):
+            ReplyMessage(2, 0.05, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            ReplyMessage(2, 0.05, 0.02, -1.0)
