@@ -3,91 +3,31 @@
 Not a paper artifact: these track the raw performance of the PARSEC-
 substitute kernel so regressions in the substrates are visible separately
 from protocol-level changes.
+
+The workload bodies live in :mod:`repro.perf.workloads` — the same
+functions power ``benchmarks/bench_report.py``, so pytest-benchmark rows
+and committed ``BENCH_*.json`` numbers are directly comparable.
 """
 
-import random
-
-from repro.coverage import CoverageGrid
-from repro.net import BroadcastChannel, Field, Packet, RadioModel, SpatialGrid
-from repro.sim import Simulator
+from repro.perf.workloads import (
+    channel_broadcast_throughput,
+    coverage_update_throughput,
+    engine_event_throughput,
+    spatial_grid_query_throughput,
+)
 
 
 def test_engine_event_throughput(benchmark):
-    def run():
-        sim = Simulator()
-        count = 0
-
-        def tick():
-            nonlocal count
-            count += 1
-            if count < 20000:
-                sim.schedule(1.0, tick)
-
-        sim.schedule(1.0, tick)
-        sim.run()
-        return count
-
-    assert benchmark(run) == 20000
+    assert benchmark(engine_event_throughput) == 20000
 
 
 def test_spatial_grid_query_throughput(benchmark):
-    rng = random.Random(1)
-    field = Field(50.0, 50.0)
-    grid = SpatialGrid(field, cell_size=3.0)
-    for i in range(800):
-        grid.insert(i, field.random_point(rng))
-    centers = [field.random_point(rng) for _ in range(500)]
-
-    def run():
-        return sum(len(grid.within(center, 10.0)) for center in centers)
-
-    assert benchmark(run) > 0
+    assert benchmark(spatial_grid_query_throughput) > 0
 
 
 def test_coverage_update_throughput(benchmark):
-    rng = random.Random(2)
-    field = Field(50.0, 50.0)
-    grid = CoverageGrid(field, sensing_range=10.0, resolution=1.0)
-    nodes = [field.random_point(rng) for _ in range(200)]
-
-    def run():
-        for node in nodes:
-            grid.add_node(node)
-        for node in nodes:
-            grid.remove_node(node)
-        return grid.fraction(1)
-
-    assert benchmark(run) == 0.0
+    assert benchmark(coverage_update_throughput) == 0.0
 
 
 def test_channel_broadcast_throughput(benchmark):
-    class Endpoint:
-        def __init__(self, node_id, position):
-            self.node_id = node_id
-            self.position = position
-            self.received = 0
-
-        def is_listening(self):
-            return True
-
-        def on_packet(self, packet, rssi, dist):
-            self.received += 1
-
-    def run():
-        sim = Simulator()
-        field = Field(50.0, 50.0)
-        grid = SpatialGrid(field, cell_size=3.0)
-        channel = BroadcastChannel(sim, grid, RadioModel(), rng=random.Random(3))
-        rng = random.Random(4)
-        endpoints = [Endpoint(i, field.random_point(rng)) for i in range(300)]
-        for endpoint in endpoints:
-            channel.attach(endpoint)
-        for i, endpoint in enumerate(endpoints):
-            sim.schedule(
-                i * 0.02, channel.transmit, endpoint.node_id,
-                Packet("PROBE", endpoint.node_id), 3.0,
-            )
-        sim.run()
-        return sum(e.received for e in endpoints)
-
-    assert benchmark(run) > 0
+    assert benchmark(channel_broadcast_throughput) > 0

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Emit a ``BENCH_<date>.json`` perf report for the current tree.
+
+Runs the kernel microbenchmarks (the exact workloads behind
+``benchmarks/bench_kernel.py``) plus the Fig 9 deployment-sweep
+macro-benchmark (PEAS, N=480), and writes a JSON report so every PR leaves
+a perf trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report.py                 # quick
+    REPRO_BENCH_SCALE=smoke PYTHONPATH=src python benchmarks/bench_report.py
+    PYTHONPATH=src python benchmarks/bench_report.py \
+        --against /path/to/old/checkout/src --against-label seed
+    PYTHONPATH=src python benchmarks/bench_report.py \
+        --baseline BENCH_2026-08-06.json --fail-on-regression
+
+Scale (``REPRO_BENCH_SCALE`` or ``--scale``): ``smoke`` = 10 timing rounds
+and 1 macro seed, ``quick`` = 20/2, ``full`` = 40/5 — the same seed policy
+as the figure sweeps (``repro.experiments.paper.bench_seeds``).
+
+``--against SRC`` measures another source tree on *this* tree's workload
+definitions in a subprocess (honest A/B: byte-identical bench code on both
+sides) and records per-workload speedups.  ``--baseline FILE`` compares
+against a previously committed report instead; with ``--fail-on-regression``
+the exit code is 1 when any microbenchmark got >15 % slower.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _datetime
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.paper import bench_seeds  # noqa: E402
+from repro.perf import (  # noqa: E402
+    KERNEL_WORKLOADS,
+    SCHEMA,
+    ab_measure,
+    compare_micro,
+    host_fingerprint,
+    micro_rounds,
+    peak_rss_mb,
+    run_macro,
+    run_micro,
+    write_report,
+)
+
+REGRESSION_THRESHOLD = 1.15  # >15 % slower than baseline = regression
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_BENCH_SCALE", "quick").lower(),
+        choices=("smoke", "quick", "full"),
+        help="rounds/seeds preset (default: REPRO_BENCH_SCALE or quick)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="report path (default: benchmarks/BENCH_<date>.json)",
+    )
+    parser.add_argument(
+        "--skip-macro",
+        action="store_true",
+        help="microbenchmarks only (used by the CI smoke job)",
+    )
+    parser.add_argument(
+        "--against",
+        type=Path,
+        default=None,
+        metavar="SRC",
+        help="also measure another source tree (its 'src' dir) for A/B speedups",
+    )
+    parser.add_argument(
+        "--against-label", default="baseline-tree", help="label for --against"
+    )
+    parser.add_argument(
+        "--ab-repeats",
+        type=int,
+        default=3,
+        help="alternating subprocess repeats per tree for --against (min-merged)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="JSON",
+        help="compare against a previously emitted BENCH_*.json",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 if a microbenchmark regressed >15%% vs --baseline",
+    )
+    args = parser.parse_args(argv)
+
+    # Keep the macro seed policy in lockstep with the paper sweeps.
+    os.environ["REPRO_BENCH_SCALE"] = args.scale
+    rounds = micro_rounds(args.scale)
+    seeds = bench_seeds()
+    today = _datetime.date.today().isoformat()
+    output = args.output or REPO_ROOT / "benchmarks" / f"BENCH_{today}.json"
+
+    print(f"[bench] scale={args.scale} rounds={rounds} macro_seeds={seeds}")
+    print(f"[bench] micro: {len(KERNEL_WORKLOADS)} kernel workloads ...")
+    micro = run_micro(KERNEL_WORKLOADS, rounds)
+    for name, stats in micro.items():
+        print(
+            f"[bench]   {name:34s} best {stats['best_ms']:8.2f} ms   "
+            f"median {stats['median_ms']:8.2f} ms"
+        )
+
+    macro = None
+    if not args.skip_macro:
+        print(f"[bench] macro: fig9 N=480, seeds {seeds} (serial) ...")
+        macro = run_macro(num_nodes=480, seeds=seeds)
+        print(f"[bench]   wall {macro['wall_s_total']:.2f} s total")
+
+    report = {
+        "schema": SCHEMA,
+        "date": today,
+        "scale": args.scale,
+        "host": host_fingerprint(),
+        "micro_stat": "best_ms",
+        "micro": micro,
+        "macro": macro,
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
+
+    if args.against is not None:
+        print(
+            f"[bench] against: alternating A/B subprocess runs, "
+            f"this tree vs {args.against} ..."
+        )
+        ours, other = ab_measure(
+            REPO_ROOT / "src",
+            args.against,
+            rounds,
+            macro_seeds=seeds,
+            skip_macro=args.skip_macro,
+            repeats=args.ab_repeats,
+        )
+        speedups = compare_micro(ours["micro"], other["micro"])
+        against = {
+            "label": args.against_label,
+            "src": str(args.against),
+            "ab_repeats": args.ab_repeats,
+            "current_micro": ours["micro"],
+            "micro": other["micro"],
+            "macro": other["macro"],
+            "peak_rss_mb": round(other["peak_rss_mb"], 1),
+            "micro_speedup": {k: round(v, 2) for k, v in speedups.items()},
+        }
+        for name, speedup in speedups.items():
+            print(f"[bench]   {name:34s} {speedup:5.2f}x vs {args.against_label}")
+        if ours.get("macro") is not None and other["macro"] is not None:
+            ours_wall = ours["macro"]["wall_s_total"]
+            macro_speedup = other["macro"]["wall_s_total"] / ours_wall
+            against["current_macro"] = ours["macro"]
+            against["macro_speedup"] = round(macro_speedup, 2)
+            print(
+                f"[bench]   fig9 macro {macro_speedup:5.2f}x "
+                f"({other['macro']['wall_s_total']:.2f} s -> {ours_wall:.2f} s)"
+            )
+        report["against"] = against
+
+    exit_code = 0
+    if args.baseline is not None:
+        import json
+
+        baseline = json.loads(args.baseline.read_text())
+        speedups = compare_micro(micro, baseline.get("micro", {}))
+        regressions = sorted(
+            name for name, s in speedups.items() if s < 1.0 / REGRESSION_THRESHOLD
+        )
+        report["baseline_comparison"] = {
+            "path": str(args.baseline),
+            "date": baseline.get("date"),
+            "micro_speedup": {k: round(v, 2) for k, v in speedups.items()},
+            "regressions": regressions,
+        }
+        for name, speedup in sorted(speedups.items()):
+            flag = "  REGRESSION" if name in regressions else ""
+            print(f"[bench]   {name:34s} {speedup:5.2f}x vs baseline{flag}")
+        if regressions and args.fail_on_regression:
+            print(f"[bench] FAIL: {len(regressions)} regression(s): {regressions}")
+            exit_code = 1
+
+    write_report(output, report)
+    print(f"[bench] wrote {output}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

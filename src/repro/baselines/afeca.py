@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Hashable, List
 
-from ..net import SpatialGrid
+from ..net import build_neighbor_lists
 from .base import BaselineNetwork, BaselineNode
 
 __all__ = ["AfecaLikeProtocol"]
@@ -44,17 +44,12 @@ class AfecaLikeProtocol:
         self.awake_s = awake_s
         self.base_sleep_s = base_sleep_s
         self.rng = rng if rng is not None else random.Random(0)
-        grid = SpatialGrid(network.field, cell_size=radio_range_m)
-        for node in network.nodes.values():
-            grid.insert(node.node_id, node.position)
-        self._neighbors: Dict[Hashable, List[Hashable]] = {
-            node.node_id: [
-                other
-                for other in grid.within(node.position, radio_range_m)
-                if other != node.node_id
-            ]
-            for node in network.nodes.values()
-        }
+        # Static sorted-by-distance neighbor lists (nodes are stationary).
+        self._neighbors: Dict[Hashable, List[Hashable]] = build_neighbor_lists(
+            network.field,
+            {node.node_id: node.position for node in network.nodes.values()},
+            radio_range_m,
+        )
 
     def alive_neighbor_count(self, node: BaselineNode) -> int:
         return sum(

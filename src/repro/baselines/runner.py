@@ -14,7 +14,7 @@ from ..coverage import CoverageGrid, CoverageTracker
 from ..experiments.metrics import RunResult
 from ..experiments.scenario import Scenario
 from ..failures import FailureInjector, per_5000s
-from ..net import DEPLOYMENTS, Field, SpatialGrid
+from ..net import DEPLOYMENTS, Field, NeighborCache, SpatialGrid
 from ..routing import GrabRouter, ReportTraffic, WorkingTopology
 from ..sim import RngRegistry, Simulator
 from .afeca import AfecaLikeProtocol
@@ -94,8 +94,11 @@ def run_baseline(
     traffic = None
     if scenario.with_traffic:
         spatial = SpatialGrid(field, cell_size=scenario.config.probe_range_m)
+        cache = NeighborCache(spatial)
         spatial.bulk_insert((i, p) for i, p in enumerate(positions))
-        topology = WorkingTopology(spatial, comm_range=scenario.comm_range_m)
+        topology = WorkingTopology(
+            spatial, comm_range=scenario.comm_range_m, neighbors=cache
+        )
 
         def topology_observer(time, node, started, _topology=topology):
             if started:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Hashable, List, Set
 
-from ..net import SpatialGrid
+from ..net import build_neighbor_lists
 from ..net.field import distance
 from .base import BaselineNetwork, BaselineNode
 
@@ -51,17 +51,12 @@ class SpanLikeProtocol:
         self.hello_cost_j = hello_cost_j
         self.rng = rng if rng is not None else random.Random(0)
         self.rounds = 0
-        # Static neighbor lists (nodes are stationary): id -> neighbor ids.
-        grid = SpatialGrid(network.field, cell_size=radio_range_m)
-        for node in network.nodes.values():
-            grid.insert(node.node_id, node.position)
-        self._neighbors: Dict[Hashable, List[Hashable]] = {}
-        for node in network.nodes.values():
-            self._neighbors[node.node_id] = [
-                other
-                for other in grid.within(node.position, radio_range_m)
-                if other != node.node_id
-            ]
+        # Static sorted-by-distance neighbor lists (nodes are stationary).
+        self._neighbors: Dict[Hashable, List[Hashable]] = build_neighbor_lists(
+            network.field,
+            {node.node_id: node.position for node in network.nodes.values()},
+            radio_range_m,
+        )
 
     # -------------------------------------------------------------- control
     def start(self) -> None:

@@ -31,6 +31,7 @@ from ..net import (
     PACKET_SIZE_BYTES,
     BroadcastChannel,
     Field,
+    NeighborCache,
     Packet,
     Point,
     RadioModel,
@@ -88,6 +89,11 @@ class PEASNetwork:
         Physical-layer and power models (paper defaults if omitted).
     loss_rate:
         Channel's independent frame-loss probability.
+    neighbor_cache:
+        ``True``/``False`` forces the stationary-topology neighbor memo on
+        or off; ``None`` (default) follows ``REPRO_NEIGHBOR_CACHE``.
+        Results are bit-identical either way; off trades speed for nothing
+        and exists for determinism proofs and benchmarking.
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class PEASNetwork:
         profile: PowerProfile = MOTE_PROFILE,
         loss_rate: float = 0.0,
         anchors: Sequence[Point] = (),
+        neighbor_cache: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.field = field
@@ -111,6 +118,7 @@ class PEASNetwork:
 
         self.counters = CounterSet()
         self.grid = SpatialGrid(field, cell_size=config.probe_range_m)
+        self.neighbors = NeighborCache(self.grid, enabled=neighbor_cache)
         self.channel = BroadcastChannel(
             sim,
             self.grid,
@@ -118,6 +126,7 @@ class PEASNetwork:
             loss_rate=loss_rate,
             rng=rngs.stream("channel"),
             energy_hook=self._energy_hook,
+            neighbor_cache=self.neighbors,
         )
         self.working_observers: List[WorkingObserver] = []
         self.death_observers: List[DeathObserver] = []

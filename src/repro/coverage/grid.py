@@ -128,12 +128,13 @@ class CoverageGrid:
             )
         # Threshold crossings: adding moves points with count K-1 into the
         # ">= K" bucket; removing moves points with count K out of it.
+        # ``minlength`` guarantees bins[0..max_k] exist, so both updates are
+        # single vectorized slice operations.
         bins = np.bincount(before, minlength=self.max_k + 1)
         if delta > 0:
-            for k in range(1, self.max_k + 1):
-                self._num_ge[k] += bins[k - 1]
+            self._num_ge[1:] += bins[: self.max_k]
         else:
-            for k in range(1, self.max_k + 1):
-                self._num_ge[k] -= bins[k] if k < len(bins) else 0
+            self._num_ge[1:] -= bins[1 : self.max_k + 1]
+        # ``block`` is a view into ``self._counts``; writing through the mask
+        # updates the backing array in place.
         block[mask] = before + delta
-        self._counts[window] = block

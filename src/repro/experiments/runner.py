@@ -84,7 +84,11 @@ def run_scenario(scenario: Scenario) -> RunResult:
     # --- data delivery metric --------------------------------------------
     traffic = None
     if scenario.with_traffic:
-        topology = WorkingTopology(network.grid, comm_range=scenario.comm_range_m)
+        topology = WorkingTopology(
+            network.grid,
+            comm_range=scenario.comm_range_m,
+            neighbors=network.neighbors,
+        )
 
         def topology_observer(time, node, started, _topology=topology):
             if started:

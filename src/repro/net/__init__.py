@@ -29,6 +29,7 @@ from .mac import (
     reply_phase,
     spread_transmissions,
 )
+from .neighbors import NeighborCache, build_neighbor_lists
 from .packet import PACKET_SIZE_BYTES, Packet
 from .radio import RadioModel
 from .spatial import SpatialGrid
@@ -39,6 +40,8 @@ __all__ = [
     "distance",
     "distance_sq",
     "SpatialGrid",
+    "NeighborCache",
+    "build_neighbor_lists",
     "DEPLOYMENTS",
     "uniform_deployment",
     "grid_deployment",

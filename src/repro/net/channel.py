@@ -17,17 +17,24 @@ captures the phenomena the paper's design explicitly reacts to:
 
 Energy is charged through an optional hook so the energy model can attribute
 per-frame costs to overhead categories (Table 1 accounting).
+
+Nodes are stationary, so the set of potential receivers of a broadcast is a
+function of ``(sender, range)`` alone; lookups go through a
+:class:`~repro.net.neighbors.NeighborCache` (memoized, sorted by distance,
+invalidated on node death) instead of re-running the grid range query per
+frame.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Protocol
 
 from ..sim import CounterSet, Simulator
 from ..sim.events import PRIORITY_HIGH
-from .field import Point, distance
+from .field import Point
+from .neighbors import NeighborCache
 from .packet import Packet
 from .radio import RadioModel
 from .spatial import SpatialGrid
@@ -56,7 +63,7 @@ class RadioEndpoint(Protocol):
         ...
 
 
-@dataclass
+@dataclass(slots=True)
 class Reception:
     """An in-flight frame as observed by one receiver."""
 
@@ -83,6 +90,9 @@ class BroadcastChannel:
         Stream for loss draws and RSSI irregularity.
     energy_hook:
         Optional callback charging tx/rx energy per frame.
+    neighbor_cache:
+        Memoized neighborhoods over ``grid``; constructed locally when not
+        supplied (pass a shared instance so routing reuses the same memo).
     """
 
     def __init__(
@@ -93,6 +103,7 @@ class BroadcastChannel:
         loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
         energy_hook: Optional[EnergyHook] = None,
+        neighbor_cache: Optional[NeighborCache] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -102,12 +113,20 @@ class BroadcastChannel:
         self.loss_rate = loss_rate
         self.rng = rng if rng is not None else random.Random(0)
         self.energy_hook = energy_hook
+        self.neighbors = (
+            neighbor_cache if neighbor_cache is not None else NeighborCache(grid)
+        )
         self.counters = CounterSet()
         self._endpoints: Dict[Hashable, RadioEndpoint] = {}
-        #: receiver id -> list of in-flight receptions at that receiver
-        self._incoming: Dict[Hashable, List[Reception]] = {}
+        #: receiver id -> {packet uid: in-flight reception at that receiver}
+        self._incoming: Dict[Hashable, Dict[int, Reception]] = {}
         #: node id -> absolute time its own transmission ends (half duplex)
         self._transmitting_until: Dict[Hashable, float] = {}
+        #: per-transmit memos (ranges are validated and airtimes computed
+        #: once per distinct value, not once per frame)
+        self._valid_ranges: Dict[float, float] = {}
+        self._airtimes: Dict[int, float] = {}
+        self._rx_labels: Dict[str, str] = {}
 
     # ---------------------------------------------------------- attachment
     def attach(self, endpoint: RadioEndpoint) -> None:
@@ -119,7 +138,11 @@ class BroadcastChannel:
             self.grid.insert(node_id, endpoint.position)
 
     def detach(self, node_id: Hashable) -> None:
-        """Remove a (dead) node from the medium entirely."""
+        """Remove a (dead) node from the medium entirely.
+
+        Dropping it from the grid also invalidates every cached neighborhood
+        that contained it (see :class:`NeighborCache`).
+        """
         self._endpoints.pop(node_id, None)
         self._incoming.pop(node_id, None)
         if node_id in self.grid:
@@ -134,8 +157,11 @@ class BroadcastChannel:
         transmissions plus every frame currently arriving at it.  Returns a
         time in the past when the medium is locally idle."""
         busy = self._transmitting_until.get(node_id, 0.0)
-        for reception in self._incoming.get(node_id, ()):
-            busy = max(busy, reception.end_time)
+        active = self._incoming.get(node_id)
+        if active:
+            for reception in active.values():
+                if reception.end_time > busy:
+                    busy = reception.end_time
         return busy
 
     def is_busy(self, node_id: Hashable, now: float) -> bool:
@@ -148,97 +174,135 @@ class BroadcastChannel:
 
         Delivery (or corruption) is resolved when the frame's airtime ends.
         """
-        tx_range = self.radio.validate_tx_range(tx_range)
+        validated = self._valid_ranges.get(tx_range)
+        if validated is None:
+            validated = self._valid_ranges[tx_range] = self.radio.validate_tx_range(
+                tx_range
+            )
+        tx_range = validated
         sender = self._endpoints.get(sender_id)
         if sender is None:
             raise KeyError(f"unknown sender {sender_id!r}")
-        airtime = self.radio.airtime(packet.size_bytes)
+        size = packet.size_bytes
+        airtime = self._airtimes.get(size)
+        if airtime is None:
+            airtime = self._airtimes[size] = self.radio.airtime(size)
         now = self.sim.now
         end = now + airtime
-        self.counters.incr("frames_sent")
+        incr = self.counters.incr
+        incr("frames_sent")
 
         # Half duplex: transmitting corrupts anything the sender was receiving
         # and blocks reception until the transmission ends.
-        self._transmitting_until[sender_id] = max(
-            end, self._transmitting_until.get(sender_id, 0.0)
-        )
-        for reception in self._incoming.get(sender_id, ()):
-            reception.corrupted = True
+        transmitting = self._transmitting_until
+        prior = transmitting.get(sender_id, 0.0)
+        transmitting[sender_id] = end if end > prior else prior
+        own_incoming = self._incoming.get(sender_id)
+        if own_incoming:
+            for reception in own_incoming.values():
+                reception.corrupted = True
 
         if self.energy_hook is not None:
             self.energy_hook(sender_id, "tx", airtime, packet)
 
-        origin = sender.position
+        uid = packet.uid
+        endpoints = self._endpoints
+        incoming = self._incoming
         receivers: List[Hashable] = []
-        for node_id in self.grid.within(origin, tx_range):
-            if node_id == sender_id:
-                continue
-            endpoint = self._endpoints.get(node_id)
+        if sender_id in self.grid:
+            neighborhood = self.neighbors.neighbors_with_distance(sender_id, tx_range)
+        else:
+            # Sender already left the grid (death raced a pending frame):
+            # resolve its audience from the recorded position, uncached.
+            neighborhood = self.neighbors.neighbors_at(
+                sender.position, tx_range, exclude=sender_id
+            )
+        for node_id, dist in neighborhood:
+            endpoint = endpoints.get(node_id)
             if endpoint is None or not endpoint.is_listening():
                 continue
-            if self._transmitting_until.get(node_id, 0.0) > now:
+            if transmitting.get(node_id, 0.0) > now:
                 # Receiver is itself on the air: frame is lost to it.
-                self.counters.incr("half_duplex_losses")
+                incr("half_duplex_losses")
                 continue
-            reception = Reception(
-                packet=packet,
-                end_time=end,
-                dist=distance(origin, endpoint.position),
-            )
-            active = self._incoming.setdefault(node_id, [])
-            if active:
-                # Overlap at this receiver: everything involved is corrupted.
-                reception.corrupted = True
-                for other in active:
-                    if not other.corrupted:
-                        other.corrupted = True
-                        self.counters.incr("collisions")
-                self.counters.incr("collisions")
-            active.append(reception)
+            reception = Reception(packet, end, dist)
+            active = incoming.get(node_id)
+            if active is None:
+                incoming[node_id] = {uid: reception}
+            else:
+                if active:
+                    # Overlap at this receiver: everything involved corrupts.
+                    reception.corrupted = True
+                    for other in active.values():
+                        if not other.corrupted:
+                            other.corrupted = True
+                            incr("collisions")
+                    incr("collisions")
+                active[uid] = reception
             receivers.append(node_id)
 
+        kind = packet.kind
+        label = self._rx_labels.get(kind)
+        if label is None:
+            label = self._rx_labels[kind] = f"rx:{kind}"
         self.sim.schedule(
             airtime,
             self._complete,
             sender_id,
             packet,
             receivers,
+            airtime,
             priority=PRIORITY_HIGH,
-            label=f"rx:{packet.kind}",
+            label=label,
         )
 
     # ---------------------------------------------------------- completion
     def _complete(
-        self, sender_id: Hashable, packet: Packet, receivers: List[Hashable]
+        self,
+        sender_id: Hashable,
+        packet: Packet,
+        receivers: List[Hashable],
+        airtime: float,
     ) -> None:
+        uid = packet.uid
+        incoming = self._incoming
+        endpoints = self._endpoints
+        incr = self.counters.incr
+        energy_hook = self.energy_hook
+        loss_rate = self.loss_rate
+        rng = self.rng
+        radio = self.radio
+        # The stock radio without irregularity is a pure power law; inlining
+        # it here skips a method call per delivered frame.  Any subclass (or
+        # jittered attenuation) still goes through ``radio.rssi``.
+        plain_rssi = type(radio) is RadioModel and radio.irregularity == 0.0
+        neg_alpha = -radio.path_loss_exponent
         for node_id in receivers:
-            active = self._incoming.get(node_id)
-            reception = None
-            if active:
-                for candidate in active:
-                    if candidate.packet.uid == packet.uid:
-                        reception = candidate
-                        break
-                if reception is not None:
-                    active.remove(reception)
-                if not active:
-                    self._incoming.pop(node_id, None)
+            active = incoming.get(node_id)
+            if active is None:
+                continue
+            # The emptied per-receiver dict is kept for reuse by the next
+            # frame (receivers hear frames repeatedly; churning dicts costs
+            # an allocation per reception).  ``detach`` drops the whole entry.
+            reception = active.pop(uid, None)
             if reception is None:
                 continue
-            endpoint = self._endpoints.get(node_id)
+            endpoint = endpoints.get(node_id)
             if endpoint is None or not endpoint.is_listening():
                 # Receiver died or slept mid-frame.
-                self.counters.incr("aborted_receptions")
+                incr("aborted_receptions")
                 continue
-            if self.energy_hook is not None:
-                self.energy_hook(
-                    node_id, "rx", self.radio.airtime(packet.size_bytes), packet
-                )
+            if energy_hook is not None:
+                energy_hook(node_id, "rx", airtime, packet)
             if reception.corrupted:
                 continue
-            if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
-                self.counters.incr("random_losses")
+            if loss_rate > 0 and rng.random() < loss_rate:
+                incr("random_losses")
                 continue
-            rssi = self.radio.rssi(reception.dist, self.rng)
-            self.counters.incr("frames_delivered")
-            endpoint.on_packet(packet, rssi, reception.dist)
+            dist = reception.dist
+            if plain_rssi:
+                rssi = dist**neg_alpha if dist > 1e-9 else float("inf")
+            else:
+                rssi = radio.rssi(dist, rng)
+            incr("frames_delivered")
+            endpoint.on_packet(packet, rssi, dist)

@@ -1,0 +1,185 @@
+"""Memoized neighborhoods over a stationary-topology spatial index.
+
+PEAS nodes never move once deployed (§5.2), yet the seed substrate re-ran a
+bucket-grid range query for every PROBE/REPLY broadcast and every routing
+update.  :class:`NeighborCache` exploits immobility: the answer to "who is
+within radius r of node x" can only change when a node *leaves* the index
+(death) or a new one is attached, so it is safe to memoize per
+``(node_id, radius)`` with explicit invalidation hooked into
+:meth:`repro.net.spatial.SpatialGrid` mutations.
+
+Cached lists are **sorted by distance** (ties broken by grid insertion
+order, which is deterministic), carry the precomputed Euclidean distance,
+and exclude the center node itself.  Every consumer — the broadcast
+channel, the working-topology/cost-field routing layer, and the
+GAF/Span/AFECA baselines — reads the same canonical ordering, which is what
+makes runs bit-identical whether the cache is enabled or bypassed: the
+brute-force path runs the exact same computation, just without memoizing.
+
+The cache can be disabled (for golden-seed determinism tests and A/B
+benchmarking) via ``enabled=False`` or the ``REPRO_NEIGHBOR_CACHE=0``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from .field import Field, Point
+from .spatial import SpatialGrid
+
+__all__ = ["NeighborCache", "build_neighbor_lists"]
+
+#: a neighbor entry: (node_id, euclidean distance from the center node)
+Neighbor = Tuple[Hashable, float]
+
+_ENV_FLAG = "REPRO_NEIGHBOR_CACHE"
+
+
+def cache_enabled_default() -> bool:
+    """Default enablement: on unless ``REPRO_NEIGHBOR_CACHE=0``."""
+    return os.environ.get(_ENV_FLAG, "1").lower() not in ("0", "false", "off")
+
+
+class NeighborCache:
+    """Per-``(node_id, radius)`` memo of sorted-by-distance neighbor lists.
+
+    Parameters
+    ----------
+    grid:
+        The spatial index to memoize over.  The cache registers itself as a
+        mutation listener: an ``insert`` flushes everything (new nodes only
+        appear during setup), a ``remove`` drops exactly the entries whose
+        neighborhoods contained — or were centered on — the removed node.
+    enabled:
+        ``False`` turns the memo off; queries then recompute from the grid
+        every time through the *same* code path (identical results, used to
+        prove determinism).  ``None`` reads ``REPRO_NEIGHBOR_CACHE``.
+    """
+
+    def __init__(self, grid: SpatialGrid, enabled: Optional[bool] = None) -> None:
+        self.grid = grid
+        self.enabled = cache_enabled_default() if enabled is None else bool(enabled)
+        self._lists: Dict[Tuple[Hashable, float], List[Neighbor]] = {}
+        #: member id -> keys of cached lists that must die with it
+        self._containing: Dict[Hashable, Set[Tuple[Hashable, float]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        grid.add_listener(self._on_grid_change)
+
+    # -------------------------------------------------------------- queries
+    def neighbors(self, item: Hashable, radius: float) -> List[Hashable]:
+        """Neighbor ids of ``item`` within ``radius``, nearest first."""
+        return [node_id for node_id, _ in self.neighbors_with_distance(item, radius)]
+
+    def neighbors_with_distance(self, item: Hashable, radius: float) -> List[Neighbor]:
+        """``(neighbor_id, distance)`` pairs, sorted by distance.
+
+        ``item`` itself is excluded.  The returned list is owned by the
+        cache — treat it as read-only.
+        """
+        key = (item, radius)
+        if self.enabled:
+            cached = self._lists.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        grid = self.grid
+        annotated = grid.within_annotated(grid.position(item), radius)
+        annotated.sort()
+        sqrt = math.sqrt
+        result = [
+            (node_id, sqrt(d_sq))
+            for d_sq, _, node_id in annotated
+            if node_id != item
+        ]
+        if self.enabled:
+            self._lists[key] = result
+            containing = self._containing
+            containing.setdefault(item, set()).add(key)
+            for node_id, _ in result:
+                containing.setdefault(node_id, set()).add(key)
+        return result
+
+    def neighbors_at(
+        self, position: Point, radius: float, exclude: Optional[Hashable] = None
+    ) -> List[Neighbor]:
+        """Uncached ``(id, distance)`` pairs around an arbitrary position.
+
+        Cold path for queries not centered on a live grid member (e.g. a
+        frame sent by a node whose death raced its own pending transmission).
+        Ordering matches :meth:`neighbors_with_distance` exactly.
+        """
+        annotated = self.grid.within_annotated(position, radius)
+        annotated.sort()
+        sqrt = math.sqrt
+        return [
+            (node_id, sqrt(d_sq))
+            for d_sq, _, node_id in annotated
+            if node_id != exclude
+        ]
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "entries": len(self._lists),
+        }
+
+    # ------------------------------------------------------------ internals
+    def _on_grid_change(self, kind: str, item: Hashable, position: Point) -> None:
+        if kind == "insert":
+            # Inserts only happen during deployment setup; a blanket flush is
+            # both correct and cheap there.
+            if self._lists:
+                self.invalidations += len(self._lists)
+                self._lists.clear()
+                self._containing.clear()
+            return
+        # Removal (node death): drop exactly the affected entries.
+        keys = self._containing.pop(item, None)
+        if not keys:
+            return
+        lists = self._lists
+        containing = self._containing
+        for key in keys:
+            cached = lists.pop(key, None)
+            if cached is None:
+                continue
+            self.invalidations += 1
+            for node_id, _ in cached:
+                members = containing.get(node_id)
+                if members is not None:
+                    members.discard(key)
+            center_keys = containing.get(key[0])
+            if center_keys is not None:
+                center_keys.discard(key)
+
+
+def build_neighbor_lists(
+    field: Field,
+    positions: Dict[Hashable, Point],
+    radius: float,
+    cell_size: Optional[float] = None,
+) -> Dict[Hashable, List[Hashable]]:
+    """One-shot sorted-by-distance neighbor lists for a static population.
+
+    Convenience for the coordination-level baselines (GAF/Span/AFECA) that
+    need the full ``id -> [neighbor ids]`` map once at construction: builds
+    a throwaway grid + cache and returns plain lists (nearest first).
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    grid = SpatialGrid(field, cell_size=cell_size if cell_size else radius)
+    for node_id, position in positions.items():
+        grid.insert(node_id, position)
+    cache = NeighborCache(grid, enabled=True)
+    return {node_id: cache.neighbors(node_id, radius) for node_id in positions}

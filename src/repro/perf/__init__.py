@@ -1,0 +1,37 @@
+"""Performance measurement for the simulation substrate.
+
+``repro.perf`` owns the kernel benchmark workloads (shared with the
+pytest-benchmark suite) and the machinery that turns them into committed
+``BENCH_<date>.json`` perf-trajectory reports — see
+``benchmarks/bench_report.py`` for the CLI.
+"""
+
+from .report import (
+    SCHEMA,
+    ab_measure,
+    compare_micro,
+    host_fingerprint,
+    measure_tree,
+    micro_rounds,
+    peak_rss_mb,
+    run_macro,
+    run_micro,
+    time_workload,
+    write_report,
+)
+from .workloads import KERNEL_WORKLOADS
+
+__all__ = [
+    "SCHEMA",
+    "KERNEL_WORKLOADS",
+    "ab_measure",
+    "compare_micro",
+    "host_fingerprint",
+    "measure_tree",
+    "micro_rounds",
+    "peak_rss_mb",
+    "run_macro",
+    "run_micro",
+    "time_workload",
+    "write_report",
+]

@@ -1,0 +1,99 @@
+"""Subprocess entry point for ``repro.perf.report.measure_tree``.
+
+Executed as a *script* (never imported as part of the package): the parent
+sets ``PYTHONPATH`` to the source tree under measurement, and this file
+loads the parent tree's ``workloads.py`` by path, so the lazy ``repro``
+imports inside each workload resolve against the measured tree.  Must not
+import ``repro`` at module level for that reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def _load_workloads(path: Path):
+    spec = importlib.util.spec_from_file_location("_bench_workloads", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workloads", required=True, type=Path)
+    parser.add_argument("--rounds", required=True, type=int)
+    parser.add_argument("--macro-num-nodes", type=int, default=480)
+    parser.add_argument("--macro-seeds", default="0")
+    parser.add_argument("--skip-macro", action="store_true")
+    args = parser.parse_args()
+
+    workloads = _load_workloads(args.workloads)
+
+    # Minimal local reimplementation of the timing/report helpers: this
+    # script cannot import repro.perf (``repro`` resolves to the tree under
+    # measurement, which may predate the perf module).
+    import math
+    import resource
+    import statistics
+
+    micro = {}
+    for name, fn in workloads.KERNEL_WORKLOADS.items():
+        for _ in range(2):
+            fn()
+        samples = []
+        for _ in range(args.rounds):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        best = min(samples)
+        micro[name] = {
+            "best_ms": best * 1000.0,
+            "median_ms": statistics.median(samples) * 1000.0,
+            "mean_ms": statistics.fmean(samples) * 1000.0,
+            "rounds": args.rounds,
+            "ops_per_sec": (1.0 / best) if best > 0 else math.inf,
+        }
+
+    macro = None
+    if not args.skip_macro:
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.scenario import Scenario
+
+        seeds = [int(s) for s in args.macro_seeds.split(",") if s]
+        walls, cov3, wakeups = [], [], []
+        for seed in seeds:
+            scenario = Scenario(
+                num_nodes=args.macro_num_nodes,
+                failure_per_5000s=10.66,
+                seed=seed,
+            )
+            start = time.perf_counter()
+            result = run_scenario(scenario)
+            walls.append(time.perf_counter() - start)
+            cov3.append(result.coverage_lifetimes.get(3))
+            wakeups.append(result.total_wakeups)
+        macro = {
+            "figure": "fig9",
+            "num_nodes": args.macro_num_nodes,
+            "failure_per_5000s": 10.66,
+            "seeds": seeds,
+            "wall_s_per_seed": walls,
+            "wall_s_total": sum(walls),
+            "coverage_lifetime_k3": cov3,
+            "total_wakeups": wakeups,
+        }
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_mb = peak / (1024.0 * 1024.0) if sys.platform == "darwin" else peak / 1024.0
+    json.dump({"micro": micro, "macro": macro, "peak_rss_mb": peak_mb}, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ from collections import deque
 from typing import Dict, Hashable, List, Optional, Set
 
 from ..net.field import Point, distance_sq
+from ..net.neighbors import NeighborCache
 from ..net.spatial import SpatialGrid
 
 __all__ = ["WorkingTopology", "CostField"]
@@ -36,13 +37,23 @@ class WorkingTopology:
         used to find communication-range neighbor candidates in O(1).
     comm_range:
         Maximum transmission range R_t (paper: 10 m).
+    neighbors:
+        Optional shared :class:`NeighborCache` over ``grid`` (the channel's
+        memo); candidate neighborhoods then come from the stationary-topology
+        cache instead of a fresh range query per working-set change.
     """
 
-    def __init__(self, grid: SpatialGrid, comm_range: float) -> None:
+    def __init__(
+        self,
+        grid: SpatialGrid,
+        comm_range: float,
+        neighbors: Optional[NeighborCache] = None,
+    ) -> None:
         if comm_range <= 0:
             raise ValueError("comm_range must be positive")
         self.grid = grid
         self.comm_range = float(comm_range)
+        self.neighbor_cache = neighbors
         self._positions: Dict[Hashable, Point] = {}
         self._adjacency: Dict[Hashable, Set[Hashable]] = {}
         #: bumped on every change; cost fields compare against it
@@ -53,8 +64,13 @@ class WorkingTopology:
         if node_id in self._positions:
             raise KeyError(f"{node_id!r} is already in the working topology")
         self._positions[node_id] = position
+        cache = self.neighbor_cache
+        if cache is not None and node_id in self.grid:
+            candidates = cache.neighbors(node_id, self.comm_range)
+        else:
+            candidates = self.grid.within(position, self.comm_range)
         neighbors: Set[Hashable] = set()
-        for candidate in self.grid.within(position, self.comm_range):
+        for candidate in candidates:
             if candidate != node_id and candidate in self._positions:
                 neighbors.add(candidate)
                 self._adjacency[candidate].add(node_id)

@@ -6,10 +6,18 @@ only needs a deterministic sequential event executor, which this module
 provides:
 
 * a binary-heap event queue with deterministic tie-breaking,
-* lazy event cancellation,
+* O(1) event cancellation with amortized queue compaction,
 * simulation-time bookkeeping (``now``),
 * run-until-time / run-until-empty / bounded-step execution,
 * hook points used by tracing and metrics.
+
+Performance model: the heap holds bare ``(time, priority, seq)`` tuples —
+compared element-wise in C, never through ``Event.__lt__`` — and a slot
+table maps ``seq`` to the live :class:`Event`.  Cancelling removes the slot
+immediately (the heap entry becomes a tombstone popped lazily); when
+tombstones outnumber live entries the queue is compacted in one pass, so
+reaping cost is amortized O(1) per cancellation instead of a rescan per
+``peek``.
 
 Example
 -------
@@ -27,11 +35,15 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .events import Event, EventQueueEmpty, PRIORITY_DEFAULT
 
 __all__ = ["Simulator", "SimulationError"]
+
+#: Compaction threshold: never compact below this many tombstones (the
+#: rebuild is O(n); tiny queues are cheaper to drain lazily).
+_MIN_TOMBSTONES = 64
 
 
 class SimulationError(RuntimeError):
@@ -49,7 +61,10 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: List[Event] = []
+        #: heap of (time, priority, seq); seq is the key into ``_slots``
+        self._queue: List[Tuple[float, int, int]] = []
+        #: seq -> live Event; entries vanish on cancellation or execution
+        self._slots: Dict[int, Event] = {}
         self._running = False
         self._stopped = False
         self._executed = 0
@@ -72,6 +87,11 @@ class Simulator:
         """Events still queued, including cancelled-but-unreaped ones."""
         return len(self._queue)
 
+    @property
+    def live_events(self) -> int:
+        """Events still queued and not cancelled."""
+        return len(self._slots)
+
     # ------------------------------------------------------------- scheduling
     def schedule(
         self,
@@ -84,7 +104,11 @@ class Simulator:
         """Schedule ``fn(*args)`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn, *args, priority=priority, label=label)
+        event = Event(self._now + delay, fn, args, priority=priority, label=label)
+        event._on_cancel = self._discard
+        self._slots[event.seq] = event
+        heapq.heappush(self._queue, (event.time, event.priority, event.seq))
+        return event
 
     def schedule_at(
         self,
@@ -100,24 +124,36 @@ class Simulator:
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
         event = Event(time, fn, args, priority=priority, label=label)
-        heapq.heappush(self._queue, event)
+        event._on_cancel = self._discard
+        self._slots[event.seq] = event
+        heapq.heappush(self._queue, (event.time, event.priority, event.seq))
         return event
 
     # -------------------------------------------------------------- execution
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if the queue is empty."""
-        self._reap_cancelled_head()
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        slots = self._slots
+        while queue and queue[0][2] not in slots:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
 
     def step(self) -> Event:
         """Fire exactly one event and return it."""
-        self._reap_cancelled_head()
-        if not self._queue:
+        queue = self._queue
+        slots = self._slots
+        event: Optional[Event] = None
+        while queue:
+            time, _priority, seq = heapq.heappop(queue)
+            event = slots.pop(seq, None)
+            if event is not None:
+                break
+        if event is None:
             raise EventQueueEmpty("no pending events")
-        event = heapq.heappop(self._queue)
         self._now = event.time
-        for hook in self.pre_event_hooks:
-            hook(event)
+        if self.pre_event_hooks:
+            for hook in self.pre_event_hooks:
+                hook(event)
         event.fire()
         self._executed += 1
         return event
@@ -140,15 +176,44 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        # The queue list is mutated in place (never rebound — see _discard),
+        # so hoisting these lookups out of the hot loop is safe even across
+        # compactions and events that schedule more events.
+        queue = self._queue
+        slots = self._slots
+        heappop = heapq.heappop
+        hooks = self.pre_event_hooks
         try:
+            if until is None and max_events is None:
+                # Run-to-exhaustion fast path: no bound checks per event.
+                while not self._stopped:
+                    while queue and queue[0][2] not in slots:
+                        heappop(queue)
+                    if not queue:
+                        break
+                    event = slots.pop(heappop(queue)[2])
+                    self._now = event.time
+                    if hooks:
+                        for hook in hooks:
+                            hook(event)
+                    event.fn(*event.args)
+                    self._executed += 1
+                return
             while not self._stopped:
-                next_time = self.peek_time()
-                if next_time is None:
+                while queue and queue[0][2] not in slots:
+                    heappop(queue)
+                if not queue:
                     break
-                if until is not None and next_time > until:
+                if until is not None and queue[0][0] > until:
                     self._now = until
                     break
-                self.step()
+                event = slots.pop(heappop(queue)[2])
+                self._now = event.time
+                if hooks:
+                    for hook in hooks:
+                        hook(event)
+                event.fn(*event.args)
+                self._executed += 1
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(f"exceeded max_events={max_events}")
@@ -162,10 +227,18 @@ class Simulator:
         self._stopped = True
 
     # -------------------------------------------------------------- internals
-    def _reap_cancelled_head(self) -> None:
+    def _discard(self, event: Event) -> None:
+        """Cancellation hook: free the slot now, compact the heap when the
+        tombstone fraction passes one half (amortized O(1) per cancel)."""
+        if self._slots.pop(event.seq, None) is None:
+            return
         queue = self._queue
-        while queue and queue[0].cancelled:
-            heapq.heappop(queue)
+        dead = len(queue) - len(self._slots)
+        if dead > _MIN_TOMBSTONES and dead * 2 > len(queue):
+            slots = self._slots
+            # In-place so aliases held by a running event loop stay valid.
+            queue[:] = [entry for entry in queue if entry[2] in slots]
+            heapq.heapify(queue)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self._now:.3f} pending={len(self._queue)}>"

@@ -50,7 +50,16 @@ class Event:
         Optional human-readable tag used by tracing.
     """
 
-    __slots__ = ("time", "fn", "args", "priority", "seq", "label", "_cancelled")
+    __slots__ = (
+        "time",
+        "fn",
+        "args",
+        "priority",
+        "seq",
+        "label",
+        "_cancelled",
+        "_on_cancel",
+    )
 
     def __init__(
         self,
@@ -69,6 +78,9 @@ class Event:
         self.seq = next(_sequence)
         self.label = label
         self._cancelled = False
+        #: set by the engine when scheduled, so cancellation can be reaped
+        #: out of the queue's slot table immediately (amortized compaction).
+        self._on_cancel: Optional[Callable[["Event"], None]] = None
 
     # Heap ordering ---------------------------------------------------------
     def sort_key(self) -> Tuple[float, int, int]:
@@ -80,7 +92,11 @@ class Event:
     # Lifecycle -------------------------------------------------------------
     def cancel(self) -> None:
         """Mark the event dead; the engine skips it when popped."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel(self)
 
     @property
     def cancelled(self) -> bool:

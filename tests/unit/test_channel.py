@@ -4,7 +4,14 @@ import random
 
 import pytest
 
-from repro.net import BroadcastChannel, Field, Packet, RadioModel, SpatialGrid
+from repro.net import (
+    BroadcastChannel,
+    Field,
+    NeighborCache,
+    Packet,
+    RadioModel,
+    SpatialGrid,
+)
 from repro.sim import Simulator
 
 
@@ -258,3 +265,61 @@ class TestAttachment:
         attach(channel, "a", (1.0, 1.0))
         channel.detach("a")
         channel.detach("a")
+
+
+class TestNeighborCacheIntegration:
+    def _run_traffic(self, cache_enabled, seed=7):
+        """Randomized probe traffic; returns (counters, delivery transcript)."""
+        sim = Simulator()
+        grid = SpatialGrid(Field(50.0, 50.0), cell_size=3.0)
+        cache = NeighborCache(grid, enabled=cache_enabled)
+        channel = BroadcastChannel(
+            sim, grid, RadioModel(), loss_rate=0.2,
+            rng=random.Random(seed), neighbor_cache=cache,
+        )
+        layout = random.Random(99)
+        endpoints = [
+            attach(channel, i, (layout.uniform(0, 20), layout.uniform(0, 20)))
+            for i in range(30)
+        ]
+        for round_start in (0.0, 50.0, 100.0):
+            for endpoint in endpoints:
+                sim.schedule_at(
+                    round_start + endpoint.node_id * 0.5,
+                    channel.transmit,
+                    endpoint.node_id,
+                    Packet("PROBE", endpoint.node_id),
+                    3.0,
+                )
+        sim.run()
+        transcript = [
+            (e.node_id, [(p.kind, p.sender, round(d, 9)) for p, _r, d in e.received])
+            for e in endpoints
+        ]
+        return channel.counters.as_dict(), transcript
+
+    def test_cache_on_off_bit_identical(self):
+        """Determinism invariant: cache is an optimization, never a behavior."""
+        on_counters, on_transcript = self._run_traffic(cache_enabled=True)
+        off_counters, off_transcript = self._run_traffic(cache_enabled=False)
+        assert on_counters == off_counters
+        assert on_transcript == off_transcript
+
+    def test_traffic_actually_delivered(self):
+        counters, transcript = self._run_traffic(cache_enabled=True)
+        assert counters.get("frames_sent", 0) > 0
+        assert counters.get("frames_delivered", 0) > 0
+        assert any(received for _, received in transcript)
+
+    def test_dead_sender_still_transmits(self):
+        """A node removed from the grid (dead) may have in-flight transmits."""
+        sim, channel = make_channel()
+        attach(channel, "s", (10.0, 10.0))
+        receiver = attach(channel, "r", (12.0, 10.0))
+        channel.grid.remove("s")  # node died; endpoint not yet detached
+        channel.transmit("s", Packet("REPLY", "s"), tx_range=3.0)
+        sim.run()
+        assert len(receiver.received) == 1
+        packet, _rssi, dist = receiver.received[0]
+        assert packet.kind == "REPLY"
+        assert dist == pytest.approx(2.0)

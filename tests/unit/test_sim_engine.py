@@ -97,6 +97,47 @@ class TestRunUntil:
         sim.run()
         assert fired == ["late"]
 
+    def test_until_with_cancelled_head_events(self, sim):
+        """Tombstoned heap heads must not stall or mis-advance the clock."""
+        fired = []
+        doomed = [sim.schedule(t, fired.append, f"dead@{t}") for t in (1.0, 2.0)]
+        sim.schedule(3.0, fired.append, "live")
+        for event in doomed:
+            event.cancel()
+        sim.run(until=5.0)
+        assert fired == ["live"]
+        assert sim.now == 5.0
+
+    def test_until_before_cancelled_tail(self, sim):
+        """Clock lands exactly on ``until`` even when later events are dead."""
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        late = sim.schedule(10.0, fired.append, "late")
+        late.cancel()
+        sim.run(until=4.0)
+        assert fired == ["early"]
+        assert sim.now == 4.0
+        sim.run()  # drain: only the tombstone remains
+        assert fired == ["early"]
+
+    def test_live_events_excludes_cancelled(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.live_events == 1
+        assert sim.pending_events >= sim.live_events
+
+    def test_mass_cancellation_compacts_queue(self, sim):
+        """Tombstone reaping keeps the heap from growing without bound."""
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for event in events[:400]:
+            event.cancel()
+        assert sim.live_events == 100
+        assert sim.pending_events < 500  # compaction reaped dead entries
+        sim.run()
+        assert sim.events_executed == 100
+        assert sim.now == 500.0
+
 
 class TestControl:
     def test_stop_halts_run(self, sim):
