@@ -48,6 +48,10 @@ __all__ = ["main"]
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .obs import NdjsonSink, Tracer, save_manifest
+
     scenario = Scenario(
         num_nodes=args.nodes,
         seed=args.seed,
@@ -55,7 +59,22 @@ def _cmd_run(args: argparse.Namespace) -> None:
         with_traffic=not args.no_traffic,
         measure_gaps=True,
     )
-    result = run_scenario(scenario)
+    tracer = None
+    if args.trace:
+        tracer = Tracer(NdjsonSink(args.trace))
+    try:
+        result = run_scenario(scenario, tracer=tracer, profile=args.profile)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.trace:
+        trace_path = Path(args.trace)
+        manifest_path = trace_path.parent / (trace_path.stem + ".manifest.json")
+        save_manifest(result.manifest, manifest_path)
+        stats = result.manifest.get("trace", {})
+        print(f"trace: {trace_path} ({stats.get('emitted', 0)} events, "
+              f"{stats.get('dropped', 0)} dropped)")
+        print(f"manifest: {manifest_path}")
     print(f"nodes={result.num_nodes} seed={result.seed} end_time={result.end_time:.0f}s")
     for k in sorted(result.coverage_lifetimes):
         print(f"  {k}-coverage lifetime: {result.coverage_lifetimes[k]}")
@@ -72,6 +91,32 @@ def _cmd_run(args: argparse.Namespace) -> None:
         print(f"  replacement gaps: n={result.extras['gap_count']:.0f} "
               f"mean={result.extras['gap_mean_s']:.1f}s "
               f"p95={result.extras['gap_p95_s']:.1f}s")
+    manifest = result.manifest
+    if manifest:
+        print(f"  provenance: git={manifest.get('git_sha') or 'n/a'} "
+              f"config={manifest.get('config_hash')} "
+              f"wall={manifest.get('timing', {}).get('wall_time_s')}s")
+    if result.profile:
+        from .obs import EngineProfiler
+
+        print()
+        print(EngineProfiler.render(result.profile, limit=12))
+
+
+def _cmd_inspect(args: argparse.Namespace) -> None:
+    from .obs import render_summary, validate_trace_file
+    from .obs.inspect import summarize_trace_file
+
+    if args.validate:
+        errors = validate_trace_file(args.trace)
+        if errors:
+            print(f"{args.trace}: {len(errors)} schema violation(s)", file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"{args.trace}: schema OK")
+    summary = summarize_trace_file(args.trace)
+    print(render_summary(summary, max_nodes=args.max_nodes))
 
 
 def _cmd_deployment_artifact(name: str) -> None:
@@ -190,6 +235,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--failure-rate", type=float, default=10.66,
                        help="failures per 5000 s")
     run_p.add_argument("--no-traffic", action="store_true")
+    run_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="stream structured trace events to an NDJSON file "
+                            "(a .manifest.json is written next to it)")
+    run_p.add_argument("--profile", action="store_true",
+                       help="profile the engine and print a self-time breakdown")
+
+    inspect_p = sub.add_parser(
+        "inspect", help="summarize an NDJSON trace (timelines, top talkers)"
+    )
+    inspect_p.add_argument("trace", help="path to a trace .ndjson file")
+    inspect_p.add_argument("--validate", action="store_true",
+                           help="check every line against the trace schema first")
+    inspect_p.add_argument("--max-nodes", type=int, default=20,
+                           help="cap on per-node timelines shown")
 
     for name in ("fig9", "fig10", "fig11", "table1"):
         sub.add_parser(name, help=f"reproduce {name} (deployment sweep)")
@@ -235,6 +294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_estimator(args)
     elif args.command == "report":
         _cmd_report(args)
+    elif args.command == "inspect":
+        _cmd_inspect(args)
     return 0
 
 

@@ -29,6 +29,8 @@ from typing import Callable, Hashable, List, Optional
 
 from ..energy import NodeBattery, RadioMode
 from ..net import PACKET_SIZE_BYTES, Packet
+from ..obs import events as trace_events
+from ..obs.tracer import Tracer
 from ..net.mac import probe_arrival_offset, probe_offsets, reply_phase
 from ..net.channel import BroadcastChannel
 from ..net.field import Point
@@ -75,6 +77,7 @@ class PEASNode:
         hooks: Optional[NodeHooks] = None,
         counters: Optional[CounterSet] = None,
         anchor: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._node_id = node_id
         self._position = position
@@ -86,6 +89,8 @@ class PEASNode:
         self.filter = reception_filter
         self.hooks = hooks if hooks is not None else NodeHooks.noop()
         self.counters = counters if counters is not None else CounterSet()
+        #: normalized trace handle: None unless tracing is really on
+        self._tracer = tracer.active() if tracer is not None else None
 
         #: Anchored nodes model the externally powered source/sink stations:
         #: they start working immediately, never sleep, never yield to
@@ -137,6 +142,13 @@ class PEASNode:
             self.battery.set_mode(self.sim.now, RadioMode.IDLE)
             check_transition(self.mode, NodeMode.PROBING)
             self.mode = NodeMode.PROBING  # transient hop to satisfy Figure 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    trace_events.state(
+                        self.sim.now, self._node_id, "sleeping", "probing",
+                        cause="anchor",
+                    )
+                )
             self._start_working()
             return
         self.battery.set_mode(self.sim.now, RadioMode.SLEEP)
@@ -158,6 +170,10 @@ class PEASNode:
             return
         check_transition(self.mode, NodeMode.PROBING)
         self.mode = NodeMode.PROBING
+        if self._tracer is not None:
+            self._tracer.emit(
+                trace_events.state(self.sim.now, self._node_id, "sleeping", "probing")
+            )
         self.battery.set_mode(self.sim.now, RadioMode.IDLE)
         self.wakeup_count += 1
         self._wakeup_seq += 1
@@ -180,19 +196,28 @@ class PEASNode:
         packet = Packet(kind=PROBE_KIND, sender=self._node_id, payload=message)
         self.channel.transmit(self._node_id, packet, self.filter.tx_range)
         self.counters.incr("probes_sent")
+        if self._tracer is not None:
+            self._tracer.emit(
+                trace_events.probe_tx(
+                    self.sim.now, self._node_id, self._wakeup_seq, index
+                )
+            )
 
     def _end_probe_window(self) -> None:
         if self.mode is not NodeMode.PROBING:
             return
         # Attribute the listening window's idle draw to protocol overhead
         # (already consumed via the IDLE mode; attribution only, Table 1).
-        self.battery.attribute(
-            "probe_idle", self.battery.profile.idle_w * self.config.probe_window_s
-        )
+        idle_j = self.battery.profile.idle_w * self.config.probe_window_s
+        self.battery.attribute("probe_idle", idle_j)
+        if self._tracer is not None:
+            self._tracer.emit(
+                trace_events.energy(self.sim.now, self._node_id, "probe_idle", idle_j)
+            )
         if self._pending_replies:
             self._adapt_rate(self._pending_replies)
             self.counters.incr("sleeps_after_reply")
-            self._go_to_sleep()
+            self._go_to_sleep(cause="reply_heard")
         else:
             self._start_working()
 
@@ -206,6 +231,7 @@ class PEASNode:
             chosen = max(informative, key=lambda r: r.measured_rate)
         else:
             chosen = informative[0]
+        old_rate = self.rate_hz
         self.rate_hz = updated_rate(
             self.rate_hz,
             chosen.measured_rate,
@@ -215,11 +241,33 @@ class PEASNode:
             self.config.max_adjust_factor,
         )
         self.counters.incr("rate_adaptations")
+        if self._tracer is not None:
+            self._tracer.emit(
+                trace_events.rate(
+                    self.sim.now,
+                    self._node_id,
+                    old_rate,
+                    self.rate_hz,
+                    chosen.measured_rate,
+                )
+            )
 
-    def _go_to_sleep(self) -> None:
+    def _go_to_sleep(self, cause: Optional[str] = None) -> None:
+        previous = self.mode
         check_transition(self.mode, NodeMode.SLEEPING)
         self.mode = NodeMode.SLEEPING
         self.battery.set_mode(self.sim.now, RadioMode.SLEEP)
+        if self._tracer is not None:
+            self._tracer.emit(
+                trace_events.state(
+                    self.sim.now,
+                    self._node_id,
+                    previous.value,
+                    "sleeping",
+                    cause=cause,
+                    rate_hz=self.rate_hz,
+                )
+            )
         self._schedule_sleep()
         self._reschedule_death()
 
@@ -227,6 +275,10 @@ class PEASNode:
     def _start_working(self) -> None:
         check_transition(self.mode, NodeMode.WORKING)
         self.mode = NodeMode.WORKING
+        if self._tracer is not None:
+            self._tracer.emit(
+                trace_events.state(self.sim.now, self._node_id, "probing", "working")
+            )
         self.work_started_at = self.sim.now
         self.estimator = RateEstimator(
             self.config.measurement_window_k,
@@ -245,7 +297,7 @@ class PEASNode:
         self.hooks.on_working_stop(self, "overlap")
         self.work_started_at = None
         self.estimator = None
-        self._go_to_sleep()
+        self._go_to_sleep(cause="overlap")
 
     def _send_reply(
         self, answering: tuple, feedback: Optional[float], deadline: float
@@ -278,6 +330,12 @@ class PEASNode:
         packet = Packet(kind=REPLY_KIND, sender=self._node_id, payload=message)
         self.channel.transmit(self._node_id, packet, self.filter.tx_range)
         self.counters.incr("replies_sent")
+        if self._tracer is not None:
+            self._tracer.emit(
+                trace_events.reply_tx(
+                    self.sim.now, self._node_id, feedback, message.working_duration
+                )
+            )
 
     # ------------------------------------------------------------ reception
     def on_packet(self, packet: Packet, rssi: float, dist: float) -> None:
@@ -297,7 +355,16 @@ class PEASNode:
         # estimate that included itself would be biased high by ~1/age —
         # dominant for young workers and amplified by the §4 max rule.
         feedback = self.estimator.estimate(self.sim.now)
-        self.estimator.on_probe(self.sim.now, message.wakeup_key)
+        completed = self.estimator.on_probe(self.sim.now, message.wakeup_key)
+        if completed is not None and self._tracer is not None:
+            self._tracer.emit(
+                trace_events.lambda_hat(
+                    self.sim.now,
+                    self._node_id,
+                    completed,
+                    self.estimator.windows_completed,
+                )
+            )
         # Place the REPLY uniformly in the prober's reply phase, keeping
         # this node's own repeated REPLYs separated (half-duplex radio) and
         # never transmitting past the prober's listening window.
@@ -353,8 +420,16 @@ class PEASNode:
         if self.mode is NodeMode.DEAD:
             return
         was_working = self.mode is NodeMode.WORKING
+        previous = self.mode
         check_transition(self.mode, NodeMode.DEAD)
         self.mode = NodeMode.DEAD
+        if self._tracer is not None:
+            self._tracer.emit(
+                trace_events.state(
+                    self.sim.now, self._node_id, previous.value, "dead",
+                    cause=cause.value,
+                )
+            )
         self.death_cause = cause
         self.battery.set_mode(self.sim.now, RadioMode.OFF)
         self._sleep_timer.cancel()

@@ -25,8 +25,11 @@ from ..energy import (
     NodeBattery,
     PowerProfile,
     draw_initial_energy,
+    frame_category,
     summarize_energy,
 )
+from ..obs import events as trace_events
+from ..obs.tracer import Tracer
 from ..net import (
     PACKET_SIZE_BYTES,
     BroadcastChannel,
@@ -40,7 +43,6 @@ from ..net import (
 from ..sim import CounterSet, RngRegistry, Simulator
 from .config import PEASConfig
 from .extensions import ReceptionFilter
-from .messages import PROBE_KIND, REPLY_KIND
 from .node import NodeHooks, PEASNode
 from .states import DeathCause
 
@@ -94,6 +96,10 @@ class PEASNetwork:
         or off; ``None`` (default) follows ``REPRO_NEIGHBOR_CACHE``.
         Results are bit-identical either way; off trades speed for nothing
         and exists for determinism proofs and benchmarking.
+    tracer:
+        Optional :class:`repro.obs.Tracer` threaded through the channel
+        and every node; ``None`` (or a null-sink tracer) keeps the whole
+        network on the untraced fast path.
     """
 
     def __init__(
@@ -108,12 +114,14 @@ class PEASNetwork:
         loss_rate: float = 0.0,
         anchors: Sequence[Point] = (),
         neighbor_cache: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = sim
         self.field = field
         self.config = config
         self.radio = radio if radio is not None else RadioModel()
         self.profile = profile
+        self.tracer = tracer.active() if tracer is not None else None
         validate_timing(config, self.radio)
 
         self.counters = CounterSet()
@@ -127,6 +135,7 @@ class PEASNetwork:
             rng=rngs.stream("channel"),
             energy_hook=self._energy_hook,
             neighbor_cache=self.neighbors,
+            tracer=self.tracer,
         )
         self.working_observers: List[WorkingObserver] = []
         self.death_observers: List[DeathObserver] = []
@@ -158,6 +167,7 @@ class PEASNetwork:
                 reception_filter=reception_filter,
                 hooks=hooks,
                 counters=self.counters,
+                tracer=self.tracer,
             )
             self.nodes[index] = node
             self._alive.add(index)
@@ -185,6 +195,7 @@ class PEASNetwork:
                 hooks=hooks,
                 counters=CounterSet(),  # keep protocol counters sensor-only
                 anchor=True,
+                tracer=self.tracer,
             )
             self.nodes[anchor_id] = node
             self.anchor_ids.append(anchor_id)
@@ -241,13 +252,13 @@ class PEASNetwork:
         self, node_id: Hashable, direction: str, airtime: float, packet: Packet
     ) -> None:
         node = self.nodes[node_id]
-        if packet.kind == PROBE_KIND:
-            category = f"probe_{direction}"
-        elif packet.kind == REPLY_KIND:
-            category = f"reply_{direction}"
-        else:
-            category = f"data_{direction}"
+        category = frame_category(packet.kind, direction)
         node.battery.charge_frame(self.sim.now, direction, airtime, category)
+        if self.tracer is not None:
+            joules = node.battery.profile.frame_energy(direction, airtime)
+            self.tracer.emit(
+                trace_events.energy(self.sim.now, node_id, category, joules)
+            )
         node.on_energy_charged()
 
     def _node_started_working(self, node: PEASNode) -> None:

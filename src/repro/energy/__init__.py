@@ -1,6 +1,6 @@
 """Energy substrate: power model, per-node batteries, overhead accounting."""
 
-from .accounting import OVERHEAD_CATEGORIES, EnergyReport, summarize_energy
+from .accounting import OVERHEAD_CATEGORIES, EnergyReport, frame_category, summarize_energy
 from .battery import NodeBattery
 from .model import MOTE_PROFILE, PowerProfile, RadioMode, draw_initial_energy
 
@@ -12,5 +12,6 @@ __all__ = [
     "NodeBattery",
     "EnergyReport",
     "OVERHEAD_CATEGORIES",
+    "frame_category",
     "summarize_energy",
 ]

@@ -19,7 +19,12 @@ from typing import Dict, Iterable, Tuple
 
 from .battery import NodeBattery
 
-__all__ = ["OVERHEAD_CATEGORIES", "EnergyReport", "summarize_energy"]
+__all__ = [
+    "OVERHEAD_CATEGORIES",
+    "EnergyReport",
+    "frame_category",
+    "summarize_energy",
+]
 
 OVERHEAD_CATEGORIES: Tuple[str, ...] = (
     "probe_tx",
@@ -28,6 +33,31 @@ OVERHEAD_CATEGORIES: Tuple[str, ...] = (
     "reply_rx",
     "probe_idle",
 )
+
+#: frame kinds with dedicated accounting categories; anything else (GRAB
+#: reports, baseline beacons) is data-plane traffic.
+_CONTROL_KINDS = {"PROBE": "probe", "REPLY": "reply"}
+
+#: (kind, direction) -> category string, memoized — this sits on the
+#: per-frame energy hook, so the f-string is built once per distinct pair,
+#: not once per frame.
+_CATEGORY_CACHE: Dict[Tuple[str, str], str] = {}
+
+
+def frame_category(kind: str, direction: str) -> str:
+    """Accounting category for a frame of ``kind`` seen in ``direction``.
+
+    The single source of the ``probe_tx`` / ``reply_rx`` / ``data_tx``...
+    naming used by battery attribution, Table 1 aggregation and the trace
+    pipeline's ``energy`` events.
+    """
+    key = (kind, direction)
+    category = _CATEGORY_CACHE.get(key)
+    if category is None:
+        category = _CATEGORY_CACHE[key] = (
+            f"{_CONTROL_KINDS.get(kind, 'data')}_{direction}"
+        )
+    return category
 
 
 @dataclass

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["RunResult", "MeanStd", "aggregate_values", "aggregate_lifetimes"]
 
@@ -37,6 +37,11 @@ class RunResult:
     series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     #: free-form scalar extras (gap statistics, baseline-specific metrics)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: provenance block (git SHA, config hash, seed, RNG streams, versions,
+    #: wall time, peak RSS); see :func:`repro.obs.build_manifest`
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    #: engine self-time breakdown when the run was profiled, else ``None``
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def energy_overhead_ratio(self) -> float:

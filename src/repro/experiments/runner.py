@@ -9,19 +9,30 @@ sufficiently long period of time until all nodes die", §5.2), and returns a
 
 from __future__ import annotations
 
+import time
+from typing import Optional
+
 from ..core import PEASNetwork
 from ..coverage import CoverageGrid, CoverageTracker
 from ..failures import FailureInjector, per_5000s
-from ..net import DEPLOYMENTS, Field, RadioModel
+from ..net import PACKET_SIZE_BYTES, DEPLOYMENTS, Field, RadioModel
+from ..net.mac import window_layout
+from ..obs import build_manifest
+from ..obs.tracer import Tracer
 from ..routing import GrabRouter, ReportTraffic, WorkingTopology
-from ..sim import RngRegistry, Simulator
+from ..sim import EngineProfiler, RngRegistry, Simulator
 from .metrics import RunResult
 from .scenario import Scenario
 
 __all__ = ["run_scenario", "build_network"]
 
 
-def build_network(scenario: Scenario, sim: Simulator, rngs: RngRegistry) -> PEASNetwork:
+def build_network(
+    scenario: Scenario,
+    sim: Simulator,
+    rngs: RngRegistry,
+    tracer: Optional[Tracer] = None,
+) -> PEASNetwork:
     """Construct the deployed PEAS network for a scenario (no metrics wiring)."""
     field = Field(*scenario.field_size)
     deploy = DEPLOYMENTS[scenario.deployment]
@@ -45,15 +56,39 @@ def build_network(scenario: Scenario, sim: Simulator, rngs: RngRegistry) -> PEAS
         profile=scenario.profile,
         loss_rate=scenario.loss_rate,
         anchors=anchors,
+        tracer=tracer,
     )
 
 
-def run_scenario(scenario: Scenario) -> RunResult:
-    """Run one scenario to completion and collect the §5 metrics."""
+def run_scenario(
+    scenario: Scenario,
+    *,
+    tracer: Optional[Tracer] = None,
+    profile: bool = False,
+) -> RunResult:
+    """Run one scenario to completion and collect the §5 metrics.
+
+    Parameters
+    ----------
+    scenario:
+        What to simulate.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when given (and not null-sink
+        backed) every subsystem emits structured trace events through it.
+        The caller owns the sink (closing it, choosing the path).
+    profile:
+        Attach an :class:`~repro.sim.EngineProfiler` for the whole run and
+        store its breakdown on ``result.profile``.
+    """
+    wall_start = time.perf_counter()
     sim = Simulator()
     rngs = RngRegistry(seed=scenario.seed)
-    network = build_network(scenario, sim, rngs)
+    network = build_network(scenario, sim, rngs, tracer=tracer)
     field = network.field
+    profiler: Optional[EngineProfiler] = None
+    if profile:
+        profiler = EngineProfiler()
+        sim.profiler = profiler
 
     # --- coverage metric -------------------------------------------------
     grid = CoverageGrid(
@@ -141,6 +176,7 @@ def run_scenario(scenario: Scenario) -> RunResult:
         alive_provider=network.alive_ids,
         kill=network.kill,
         rng=rngs.stream("failures"),
+        tracer=tracer,
     )
 
     # --- run ----------------------------------------------------------------
@@ -183,4 +219,33 @@ def run_scenario(scenario: Scenario) -> RunResult:
         result.extras["gap_mean_s"] = gap_monitor.mean_gap()
         result.extras["gap_max_s"] = gap_monitor.max_gap()
         result.extras["gap_p95_s"] = gap_monitor.percentile_gap(0.95)
+    if profiler is not None:
+        sim.profiler = None
+        result.profile = profiler.as_dict()
+
+    # --- provenance -----------------------------------------------------------
+    trace_info = None
+    if tracer is not None:
+        trace_info = tracer.stats()
+        path = getattr(tracer.sink, "path", None)
+        if path is not None:
+            trace_info["path"] = str(path)
+    airtime = network.radio.airtime(PACKET_SIZE_BYTES)
+    config = scenario.config
+    result.manifest = build_manifest(
+        seed=scenario.seed,
+        config=scenario,
+        rng_streams=tuple(rngs.names()),
+        wall_time_s=time.perf_counter() - wall_start,
+        events_executed=sim.events_executed,
+        sim_end_time_s=sim.now,
+        trace=trace_info,
+        mac=window_layout(
+            config.num_probes,
+            airtime,
+            config.probe_gap_s,
+            config.probe_window_s,
+            config.reply_guard_s,
+        ),
+    )
     return result

@@ -52,6 +52,8 @@ def result_to_dict(result: RunResult) -> Dict:
             for name, samples in result.series.items()
         },
         "extras": dict(result.extras),
+        "manifest": dict(result.manifest),
+        "profile": result.profile,
     }
 
 
@@ -81,6 +83,8 @@ def result_from_dict(payload: Dict) -> RunResult:
             for name, samples in payload.get("series", {}).items()
         },
         extras=dict(payload.get("extras", {})),
+        manifest=dict(payload.get("manifest", {})),
+        profile=payload.get("profile"),
     )
 
 

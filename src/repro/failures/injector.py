@@ -16,6 +16,8 @@ from __future__ import annotations
 import random
 from typing import Callable, Hashable, Iterable, List, Optional
 
+from ..obs import events as trace_events
+from ..obs.tracer import Tracer
 from ..sim import Simulator
 
 __all__ = ["FailureInjector", "per_5000s"]
@@ -43,6 +45,9 @@ class FailureInjector:
         Callable invoked with a node id to destroy it immediately.
     rng:
         Stream for inter-arrival times and victim choice.
+    tracer:
+        Optional :class:`repro.obs.Tracer` receiving a ``fail`` event per
+        injected failure.
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class FailureInjector:
         alive_provider: Callable[[], Iterable[Hashable]],
         kill: Callable[[Hashable], None],
         rng: random.Random,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if rate_hz < 0:
             raise ValueError("failure rate must be nonnegative")
@@ -60,6 +66,7 @@ class FailureInjector:
         self.alive_provider = alive_provider
         self.kill = kill
         self.rng = rng
+        self._tracer = tracer.active() if tracer is not None else None
         self.failures_injected = 0
         self.failure_times: List[float] = []
         self._started = False
@@ -90,5 +97,7 @@ class FailureInjector:
         victim = victims[self.rng.randrange(len(victims))]
         self.failures_injected += 1
         self.failure_times.append(self.sim.now)
+        if self._tracer is not None:
+            self._tracer.emit(trace_events.fail(self.sim.now, victim))
         self.kill(victim)
         self._schedule_next()

@@ -29,8 +29,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Protocol
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs pulls net)
+    from ..obs.tracer import Tracer
+
+from ..obs import events as trace_events
 from ..sim import CounterSet, Simulator
 from ..sim.events import PRIORITY_HIGH
 from .field import Point
@@ -93,6 +97,10 @@ class BroadcastChannel:
     neighbor_cache:
         Memoized neighborhoods over ``grid``; constructed locally when not
         supplied (pass a shared instance so routing reuses the same memo).
+    tracer:
+        Optional :class:`repro.obs.Tracer` receiving ``collision`` and
+        ``drop`` events; normalized so a disabled tracer costs one ``is
+        not None`` check per frame.
     """
 
     def __init__(
@@ -104,6 +112,7 @@ class BroadcastChannel:
         rng: Optional[random.Random] = None,
         energy_hook: Optional[EnergyHook] = None,
         neighbor_cache: Optional[NeighborCache] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -116,6 +125,8 @@ class BroadcastChannel:
         self.neighbors = (
             neighbor_cache if neighbor_cache is not None else NeighborCache(grid)
         )
+        #: normalized: None unless a real (non-null-sink) tracer was given
+        self.tracer = tracer.active() if tracer is not None else None
         self.counters = CounterSet()
         self._endpoints: Dict[Hashable, RadioEndpoint] = {}
         #: receiver id -> {packet uid: in-flight reception at that receiver}
@@ -208,6 +219,7 @@ class BroadcastChannel:
         uid = packet.uid
         endpoints = self._endpoints
         incoming = self._incoming
+        tracer = self.tracer
         receivers: List[Hashable] = []
         if sender_id in self.grid:
             neighborhood = self.neighbors.neighbors_with_distance(sender_id, tx_range)
@@ -224,6 +236,8 @@ class BroadcastChannel:
             if transmitting.get(node_id, 0.0) > now:
                 # Receiver is itself on the air: frame is lost to it.
                 incr("half_duplex_losses")
+                if tracer is not None:
+                    tracer.emit(trace_events.drop(now, node_id, "half_duplex"))
                 continue
             reception = Reception(packet, end, dist)
             active = incoming.get(node_id)
@@ -233,11 +247,17 @@ class BroadcastChannel:
                 if active:
                     # Overlap at this receiver: everything involved corrupts.
                     reception.corrupted = True
+                    corrupted_now = 1
                     for other in active.values():
                         if not other.corrupted:
                             other.corrupted = True
                             incr("collisions")
+                            corrupted_now += 1
                     incr("collisions")
+                    if tracer is not None:
+                        tracer.emit(
+                            trace_events.collision(now, node_id, corrupted_now)
+                        )
                 active[uid] = reception
             receivers.append(node_id)
 
@@ -269,6 +289,7 @@ class BroadcastChannel:
         endpoints = self._endpoints
         incr = self.counters.incr
         energy_hook = self.energy_hook
+        tracer = self.tracer
         loss_rate = self.loss_rate
         rng = self.rng
         radio = self.radio
@@ -291,6 +312,10 @@ class BroadcastChannel:
             if endpoint is None or not endpoint.is_listening():
                 # Receiver died or slept mid-frame.
                 incr("aborted_receptions")
+                if tracer is not None:
+                    tracer.emit(
+                        trace_events.drop(self.sim.now, node_id, "aborted")
+                    )
                 continue
             if energy_hook is not None:
                 energy_hook(node_id, "rx", airtime, packet)
@@ -298,6 +323,10 @@ class BroadcastChannel:
                 continue
             if loss_rate > 0 and rng.random() < loss_rate:
                 incr("random_losses")
+                if tracer is not None:
+                    tracer.emit(
+                        trace_events.drop(self.sim.now, node_id, "random")
+                    )
                 continue
             dist = reception.dist
             if plain_rssi:

@@ -24,6 +24,7 @@ __all__ = [
     "probe_arrival_offset",
     "reply_phase",
     "reply_delay",
+    "window_layout",
 ]
 
 
@@ -131,6 +132,28 @@ def probe_arrival_offset(probe_index: int, airtime: float, gap: float) -> float:
     if probe_index < 0:
         raise ValueError("probe_index must be nonnegative")
     return probe_index * (airtime + gap) + airtime
+
+
+def window_layout(
+    num_probes: int, airtime: float, gap: float, window: float, guard: float
+) -> dict:
+    """The complete control-plane timing of one listening window.
+
+    Run manifests embed this block so a trace consumer can reconstruct the
+    PROBE burst / reply-phase split exactly as the run used it, without
+    re-deriving it from config + radio parameters.
+    """
+    reply_lo, reply_hi = reply_phase(num_probes, airtime, gap, window, guard)
+    return {
+        "num_probes": num_probes,
+        "frame_airtime_s": airtime,
+        "probe_gap_s": gap,
+        "probe_window_s": window,
+        "reply_guard_s": guard,
+        "probe_offsets_s": probe_offsets(num_probes, airtime, gap),
+        "probe_span_s": probe_span(num_probes, airtime, gap),
+        "reply_phase_s": [reply_lo, reply_hi],
+    }
 
 
 def reply_delay(

@@ -1,0 +1,148 @@
+"""Typed trace-event constructors.
+
+Every event is a plain JSON-compatible dict with two mandatory keys —
+``t`` (simulation time, seconds) and ``ev`` (the event type) — plus
+type-specific fields.  Dicts rather than classes keep the hot emit path a
+single allocation and make the NDJSON encoding trivial and byte-stable
+(:func:`encode_event` sorts keys).
+
+Event types (see :data:`repro.obs.schema.TRACE_EVENT_SCHEMA` for the
+published contract):
+
+================  ======================================================
+``state``         node state transition (Sleeping/Probing/Working/Dead)
+``probe_tx``      a PROBE frame put on the air
+``reply_tx``      a REPLY frame put on the air (carries lambda-hat)
+``collision``     receiver-side frame overlap destroyed frames there
+``drop``          frame lost at a receiver (half duplex / random / abort)
+``lambda_hat``    a working node completed a k-interval measurement
+``rate``          a sleeper applied eq. (2) to its wakeup rate
+``fail``          the failure injector killed a node
+``energy``        an energy-accounting category was charged
+================  ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Hashable, Optional
+
+__all__ = [
+    "STATE",
+    "PROBE_TX",
+    "REPLY_TX",
+    "COLLISION",
+    "DROP",
+    "LAMBDA_HAT",
+    "RATE",
+    "FAIL",
+    "ENERGY",
+    "EVENT_TYPES",
+    "state",
+    "probe_tx",
+    "reply_tx",
+    "collision",
+    "drop",
+    "lambda_hat",
+    "rate",
+    "fail",
+    "energy",
+    "encode_event",
+]
+
+STATE = "state"
+PROBE_TX = "probe_tx"
+REPLY_TX = "reply_tx"
+COLLISION = "collision"
+DROP = "drop"
+LAMBDA_HAT = "lambda_hat"
+RATE = "rate"
+FAIL = "fail"
+ENERGY = "energy"
+
+EVENT_TYPES = (
+    STATE,
+    PROBE_TX,
+    REPLY_TX,
+    COLLISION,
+    DROP,
+    LAMBDA_HAT,
+    RATE,
+    FAIL,
+    ENERGY,
+)
+
+
+def state(
+    t: float,
+    node: Hashable,
+    src: str,
+    dst: str,
+    cause: Optional[str] = None,
+    rate_hz: Optional[float] = None,
+) -> Dict:
+    """A node moved between protocol modes; ``cause`` qualifies deaths and
+    turnoffs, ``rate_hz`` snapshots the wakeup rate on entry to Sleeping."""
+    event: Dict = {"t": t, "ev": STATE, "node": node, "from": src, "to": dst}
+    if cause is not None:
+        event["cause"] = cause
+    if rate_hz is not None:
+        event["rate_hz"] = rate_hz
+    return event
+
+
+def probe_tx(t: float, node: Hashable, wakeup: int, idx: int) -> Dict:
+    """PROBE ``idx`` of the burst belonging to wakeup number ``wakeup``."""
+    return {"t": t, "ev": PROBE_TX, "node": node, "wakeup": wakeup, "idx": idx}
+
+
+def reply_tx(
+    t: float, node: Hashable, lam: Optional[float], tw: float
+) -> Dict:
+    """A REPLY left ``node``: ``lam`` is the lambda-hat feedback it carries
+    (null before the first usable measurement), ``tw`` its working duration."""
+    return {"t": t, "ev": REPLY_TX, "node": node, "lam": lam, "tw": tw}
+
+
+def collision(t: float, node: Hashable, frames: int) -> Dict:
+    """``frames`` newly corrupted frames overlapped at receiver ``node``."""
+    return {"t": t, "ev": COLLISION, "node": node, "frames": frames}
+
+
+def drop(t: float, node: Hashable, why: str) -> Dict:
+    """A frame was lost at receiver ``node``; ``why`` is one of
+    ``half_duplex`` / ``random`` / ``aborted``."""
+    return {"t": t, "ev": DROP, "node": node, "why": why}
+
+
+def lambda_hat(t: float, node: Hashable, lam: float, window: int) -> Dict:
+    """Working node ``node`` completed full measurement window ``window``
+    with aggregate-rate estimate ``lam`` (eq. 3)."""
+    return {"t": t, "ev": LAMBDA_HAT, "node": node, "lam": lam, "window": window}
+
+
+def rate(
+    t: float, node: Hashable, old_hz: float, new_hz: float, lam: float
+) -> Dict:
+    """Sleeper ``node`` rescaled its rate ``old_hz`` -> ``new_hz`` against
+    the REPLY feedback ``lam`` (eq. 2)."""
+    return {"t": t, "ev": RATE, "node": node, "old_hz": old_hz, "new_hz": new_hz, "lam": lam}
+
+
+def fail(t: float, node: Hashable) -> Dict:
+    """The failure injector destroyed ``node`` (a non-energy death)."""
+    return {"t": t, "ev": FAIL, "node": node}
+
+
+def energy(t: float, node: Hashable, cat: str, joules: float) -> Dict:
+    """``joules`` were charged to accounting category ``cat`` at ``node``."""
+    return {"t": t, "ev": ENERGY, "node": node, "cat": cat, "j": joules}
+
+
+def encode_event(event: Dict) -> str:
+    """Canonical single-line JSON: sorted keys, no whitespace.
+
+    The sorted, compact form is what makes golden traces byte-stable: two
+    runs that emit equal event dicts produce equal NDJSON bytes.
+    """
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,177 @@
+"""The published trace-event schema and a dependency-free validator.
+
+:data:`TRACE_EVENT_SCHEMA` is a standard JSON Schema (draft 2020-12
+vocabulary subset) describing every line of an NDJSON trace; CI validates
+smoke-run traces against it and external tooling can consume it directly.
+:func:`validate_event` is a hand-rolled structural check implementing the
+same contract so validation needs no third-party ``jsonschema`` package.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from . import events as ev
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TRACE_EVENT_SCHEMA",
+    "validate_event",
+    "validate_trace_file",
+    "iter_trace_file",
+]
+
+SCHEMA_VERSION = "peas-trace/1"
+
+#: (field name, allowed python types) per event type, beyond the common
+#: ``t``/``ev``/``node`` envelope.  ``node`` is an int for sensors and a
+#: string for anchored stations.
+_NUMBER = (int, float)
+_NODE = (int, str)
+_REQUIRED: Dict[str, Tuple[Tuple[str, tuple], ...]] = {
+    ev.STATE: (("from", (str,)), ("to", (str,))),
+    ev.PROBE_TX: (("wakeup", (int,)), ("idx", (int,))),
+    ev.REPLY_TX: (("lam", _NUMBER + (type(None),)), ("tw", _NUMBER)),
+    ev.COLLISION: (("frames", (int,)),),
+    ev.DROP: (("why", (str,)),),
+    ev.LAMBDA_HAT: (("lam", _NUMBER), ("window", (int,))),
+    ev.RATE: (("old_hz", _NUMBER), ("new_hz", _NUMBER), ("lam", _NUMBER)),
+    ev.FAIL: (),
+    ev.ENERGY: (("cat", (str,)), ("j", _NUMBER)),
+}
+
+_STATE_NAMES = ("sleeping", "probing", "working", "dead")
+_DROP_REASONS = ("half_duplex", "random", "aborted")
+
+
+def _variant(ev_type: str, extra: Dict) -> Dict:
+    """One ``oneOf`` arm of the published schema."""
+    properties = {
+        "t": {"type": "number", "minimum": 0},
+        "ev": {"const": ev_type},
+        "node": {"type": ["integer", "string"]},
+    }
+    properties.update(extra)
+    return {
+        "type": "object",
+        "properties": properties,
+        "required": ["t", "ev", "node"] + [k for k in extra if k != "cause" and k != "rate_hz"],
+        "additionalProperties": False,
+    }
+
+
+TRACE_EVENT_SCHEMA: Dict = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "$id": SCHEMA_VERSION,
+    "title": "PEAS reproduction trace event",
+    "description": "One line of a peas-repro NDJSON trace.",
+    "oneOf": [
+        _variant(ev.STATE, {
+            "from": {"enum": list(_STATE_NAMES)},
+            "to": {"enum": list(_STATE_NAMES)},
+            "cause": {"type": "string"},
+            "rate_hz": {"type": "number"},
+        }),
+        _variant(ev.PROBE_TX, {
+            "wakeup": {"type": "integer", "minimum": 0},
+            "idx": {"type": "integer", "minimum": 0},
+        }),
+        _variant(ev.REPLY_TX, {
+            "lam": {"type": ["number", "null"]},
+            "tw": {"type": "number", "minimum": 0},
+        }),
+        _variant(ev.COLLISION, {"frames": {"type": "integer", "minimum": 1}}),
+        _variant(ev.DROP, {"why": {"enum": list(_DROP_REASONS)}}),
+        _variant(ev.LAMBDA_HAT, {
+            "lam": {"type": "number", "exclusiveMinimum": 0},
+            "window": {"type": "integer", "minimum": 1},
+        }),
+        _variant(ev.RATE, {
+            "old_hz": {"type": "number", "exclusiveMinimum": 0},
+            "new_hz": {"type": "number", "exclusiveMinimum": 0},
+            "lam": {"type": "number", "exclusiveMinimum": 0},
+        }),
+        _variant(ev.FAIL, {}),
+        _variant(ev.ENERGY, {
+            "cat": {"type": "string"},
+            "j": {"type": "number", "minimum": 0},
+        }),
+    ],
+}
+
+
+def validate_event(event: object) -> Optional[str]:
+    """Structurally validate one decoded event.
+
+    Returns ``None`` when the event conforms to the published schema, or a
+    human-readable description of the first violation found.
+    """
+    if not isinstance(event, dict):
+        return f"event must be an object, got {type(event).__name__}"
+    ev_type = event.get("ev")
+    if ev_type not in _REQUIRED:
+        return f"unknown event type {ev_type!r}"
+    t = event.get("t")
+    if not isinstance(t, _NUMBER) or isinstance(t, bool) or t < 0:
+        return f"'t' must be a nonnegative number, got {t!r}"
+    node = event.get("node")
+    if not isinstance(node, _NODE) or isinstance(node, bool):
+        return f"'node' must be an integer or string, got {node!r}"
+    fields = _REQUIRED[ev_type]
+    for name, types in fields:
+        if name not in event:
+            return f"{ev_type}: missing field {name!r}"
+        value = event[name]
+        if isinstance(value, bool) or not isinstance(value, types):
+            return f"{ev_type}: field {name!r} has bad type {type(value).__name__}"
+    if ev_type == ev.STATE:
+        for key in ("from", "to"):
+            if event[key] not in _STATE_NAMES:
+                return f"state: {key!r} must be one of {_STATE_NAMES}, got {event[key]!r}"
+    elif ev_type == ev.DROP and event["why"] not in _DROP_REASONS:
+        return f"drop: 'why' must be one of {_DROP_REASONS}, got {event['why']!r}"
+    allowed = {"t", "ev", "node"} | {name for name, _ in fields}
+    if ev_type == ev.STATE:
+        allowed |= {"cause", "rate_hz"}
+    extras = set(event) - allowed
+    if extras:
+        return f"{ev_type}: unexpected fields {sorted(extras)}"
+    return None
+
+
+def iter_trace_file(path: Union[str, Path]) -> Iterator[Dict]:
+    """Stream the decoded events of an NDJSON trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def validate_trace_file(path: Union[str, Path], max_errors: int = 20) -> List[str]:
+    """Validate every line of an NDJSON trace.
+
+    Returns a list of ``"line N: problem"`` strings (empty = fully valid),
+    truncated at ``max_errors`` so a systematically broken trace does not
+    produce megabytes of diagnostics.
+    """
+    errors: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: not valid JSON ({exc})")
+            else:
+                problem = validate_event(event)
+                if problem is not None:
+                    errors.append(f"line {lineno}: {problem}")
+            if len(errors) >= max_errors:
+                errors.append(f"(stopped after {max_errors} errors)")
+                break
+    return errors

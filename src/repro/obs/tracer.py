@@ -1,0 +1,51 @@
+"""The tracer handle instrumented components emit through.
+
+Components accept an ``Optional[Tracer]`` and normalize it once at
+construction with :meth:`Tracer.active`: a missing tracer *and* a tracer
+wrapping a :class:`~repro.obs.sinks.NullSink` both normalize to ``None``,
+so every hot-path guard is a single ``if self._tracer is not None`` —
+tracing off costs nothing measurable (the <3 % null-sink budget of the
+observability bench).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .sinks import NullSink, TraceSink
+
+__all__ = ["Tracer", "null_tracer"]
+
+
+class Tracer:
+    """Routes event dicts to a sink and keeps aggregate stats."""
+
+    __slots__ = ("sink",)
+
+    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+
+    @property
+    def enabled(self) -> bool:
+        """False when emitting can have no observable effect."""
+        return not isinstance(self.sink, NullSink)
+
+    def active(self) -> Optional["Tracer"]:
+        """``self`` when enabled, else ``None`` — the normalization every
+        instrumented component applies to its ``tracer`` argument."""
+        return self if self.enabled else None
+
+    def emit(self, event: Dict) -> None:
+        self.sink.emit(event)
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def stats(self) -> Dict[str, int]:
+        """Sink-side accounting for manifests: events kept vs dropped."""
+        return {"emitted": self.sink.emitted, "dropped": self.sink.dropped}
+
+
+def null_tracer() -> Tracer:
+    """A fresh disabled tracer (``active()`` is ``None``)."""
+    return Tracer(NullSink())

@@ -11,6 +11,7 @@ Public surface:
 """
 
 from .engine import SimulationError, Simulator
+from .profiling import EngineProfiler
 from .events import (
     PRIORITY_DEFAULT,
     PRIORITY_HIGH,
@@ -25,6 +26,7 @@ from .trace import CounterSet, SeriesRecorder, TimeWeightedValue, TraceLog
 __all__ = [
     "Simulator",
     "SimulationError",
+    "EngineProfiler",
     "Event",
     "EventQueueEmpty",
     "PRIORITY_HIGH",

@@ -35,9 +35,11 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from .events import Event, EventQueueEmpty, PRIORITY_DEFAULT
+from .profiling import _GAUGE_PERIOD, EngineProfiler
 
 __all__ = ["Simulator", "SimulationError"]
 
@@ -70,6 +72,10 @@ class Simulator:
         self._executed = 0
         #: Observers called as ``fn(event)`` just before each event fires.
         self.pre_event_hooks: List[Callable[[Event], None]] = []
+        #: When set, :meth:`run` dispatches through the instrumented loop
+        #: (per-label wall-time + gauges); the fast loops are untouched
+        #: while this is ``None``.  Attach via :meth:`profiled`.
+        self.profiler: Optional[EngineProfiler] = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -91,6 +97,11 @@ class Simulator:
     def live_events(self) -> int:
         """Events still queued and not cancelled."""
         return len(self._slots)
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled-but-unreaped heap entries (observability gauge)."""
+        return len(self._queue) - len(self._slots)
 
     # ------------------------------------------------------------- scheduling
     def schedule(
@@ -173,6 +184,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
+        if self.profiler is not None:
+            return self._run_profiled(until, max_events)
         self._running = True
         self._stopped = False
         fired = 0
@@ -221,6 +234,78 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+
+    def _run_profiled(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> None:
+        """The instrumented twin of :meth:`run`: identical semantics, plus
+        per-label wall-time accounting and periodic queue gauges."""
+        profiler = self.profiler
+        assert profiler is not None
+        self._running = True
+        self._stopped = False
+        fired = 0
+        queue = self._queue
+        slots = self._slots
+        heappop = heapq.heappop
+        hooks = self.pre_event_hooks
+        clock = profiler.clock
+        gauge_countdown = 0
+        try:
+            while not self._stopped:
+                while queue and queue[0][2] not in slots:
+                    heappop(queue)
+                if not queue:
+                    break
+                if until is not None and queue[0][0] > until:
+                    self._now = until
+                    break
+                event = slots.pop(heappop(queue)[2])
+                self._now = event.time
+                if hooks:
+                    for hook in hooks:
+                        hook(event)
+                label = event.label
+                if label is None:
+                    label = getattr(event.fn, "__qualname__", "unlabeled")
+                start = clock()
+                event.fn(*event.args)
+                profiler.record(label, clock() - start)
+                self._executed += 1
+                fired += 1
+                if gauge_countdown <= 0:
+                    profiler.sample_gauges(len(queue), len(slots))
+                    gauge_countdown = _GAUGE_PERIOD
+                gauge_countdown -= 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            profiler.sample_gauges(len(queue), len(slots))
+            self._running = False
+
+    @contextmanager
+    def profiled(
+        self, profiler: Optional[EngineProfiler] = None
+    ) -> Iterator[EngineProfiler]:
+        """Attach a profiler for the duration of a ``with`` block.
+
+        >>> sim = Simulator()
+        >>> _ = sim.schedule(1.0, lambda: None, label="tick")
+        >>> with sim.profiled() as prof:
+        ...     sim.run()
+        >>> prof.labels["tick"].count
+        1
+        """
+        active = profiler if profiler is not None else EngineProfiler()
+        if self.profiler is not None:
+            raise SimulationError("a profiler is already attached")
+        self.profiler = active
+        try:
+            yield active
+        finally:
+            self.profiler = None
 
     def stop(self) -> None:
         """Request the current :meth:`run` to return after the active event."""

@@ -71,9 +71,24 @@ class TimeWeightedValue:
         return self._integral + self._value * (now - self._last_time)
 
     def mean(self, now: float) -> float:
-        """Time-average of the signal over ``[start_time, now]``."""
+        """Time-average of the signal over ``[start_time, now]``.
+
+        Zero-span edge case: at ``now == start_time`` no time has been
+        integrated, so the 0/0 "average" is *defined* as the current value
+        — the only value the signal has ever held.  Asking for the mean of
+        a window that ends before it starts (``now < start_time``) is a
+        caller bug and raises, mirroring :meth:`update`'s backwards-time
+        error path.
+        """
         span = now - self._start_time
-        return self.integral(now) / span if span > 0 else self._value
+        if span < 0:
+            raise ValueError(
+                f"mean window ends before it starts (now={now}, "
+                f"start_time={self._start_time})"
+            )
+        if span == 0:
+            return self._value
+        return self.integral(now) / span
 
 
 class SeriesRecorder:
@@ -109,17 +124,32 @@ class SeriesRecorder:
 
 
 class TraceLog:
-    """Optional structured event log, disabled by default for speed."""
+    """Optional structured event log, disabled by default for speed.
+
+    .. deprecated::
+        Superseded by the typed trace pipeline in :mod:`repro.obs`
+        (schema'd events, pluggable sinks, NDJSON output).  This shim is
+        kept for existing callers; new instrumentation should emit through
+        a :class:`repro.obs.Tracer`.
+
+    Unlike the original implementation, entries refused because
+    ``capacity`` was reached are now *counted* in :attr:`dropped` — a full
+    log no longer silently pretends to be complete (the ring-buffer sink
+    in :mod:`repro.obs.sinks` exposes the same counter).
+    """
 
     def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
         self.enabled = enabled
         self.capacity = capacity
+        #: entries rejected because the log was at capacity
+        self.dropped = 0
         self._entries: List[Tuple[float, str, tuple]] = []
 
     def log(self, time: float, kind: str, *details: object) -> None:
         if not self.enabled:
             return
         if self.capacity is not None and len(self._entries) >= self.capacity:
+            self.dropped += 1
             return
         self._entries.append((time, kind, details))
 

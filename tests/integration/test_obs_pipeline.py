@@ -1,0 +1,121 @@
+"""Integration tests for the observability pipeline.
+
+Two guarantees hold the tentpole together:
+
+* **Golden traces** — the NDJSON stream of a tiny run is byte-stable: two
+  runs of the same scenario produce identical files, with the neighbor
+  cache on or off (tracing must not observe optimization-dependent state).
+* **Null-sink neutrality** — running with a disabled tracer produces
+  bit-identical results to running with no tracer at all, so the PR-1
+  fast-path numbers survive the instrumentation unconditionally.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import Scenario
+from repro.obs import (
+    NdjsonSink,
+    RingBufferSink,
+    Tracer,
+    null_tracer,
+    validate_trace_file,
+)
+from repro.obs.inspect import summarize_trace_file
+
+TINY = Scenario(
+    num_nodes=10,
+    field_size=(12.0, 12.0),
+    seed=3,
+    failure_per_5000s=2.0,
+    with_traffic=False,
+    max_time_s=4_000.0,
+)
+
+
+def _trace_to(path):
+    tracer = Tracer(NdjsonSink(path))
+    try:
+        result = run_scenario(TINY, tracer=tracer)
+    finally:
+        tracer.close()
+    return result
+
+
+class TestGoldenTrace:
+    @pytest.fixture(scope="class")
+    def golden(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("golden") / "trace.ndjson"
+        result = _trace_to(path)
+        return path.read_bytes(), result
+
+    def test_trace_has_content_and_validates(self, golden, tmp_path):
+        raw, result = golden
+        assert raw.count(b"\n") > 50
+        path = tmp_path / "replay.ndjson"
+        path.write_bytes(raw)
+        assert validate_trace_file(path) == []
+        assert result.manifest["trace"]["emitted"] == raw.count(b"\n")
+
+    def test_rerun_is_byte_identical(self, golden, tmp_path):
+        again = tmp_path / "again.ndjson"
+        _trace_to(again)
+        assert again.read_bytes() == golden[0]
+
+    def test_cache_off_is_byte_identical(self, golden, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NEIGHBOR_CACHE", "0")
+        brute = tmp_path / "brute.ndjson"
+        _trace_to(brute)
+        assert brute.read_bytes() == golden[0]
+
+    def test_summary_matches_result(self, golden, tmp_path):
+        raw, result = golden
+        path = tmp_path / "sum.ndjson"
+        path.write_bytes(raw)
+        summary = summarize_trace_file(path)
+        assert len(summary.failures) == result.failures_injected
+        assert sum(summary.probes.values()) == result.counters.get("probes_sent", 0)
+
+
+def _fingerprint(result):
+    payload = dataclasses.asdict(result)
+    payload.pop("manifest")  # wall-clock provenance is volatile by design
+    payload.pop("profile")
+    return payload
+
+
+class TestNullSinkNeutrality:
+    def test_null_tracer_is_bit_identical_to_untraced(self):
+        untraced = run_scenario(TINY)
+        nulled = run_scenario(TINY, tracer=null_tracer())
+        assert _fingerprint(nulled) == _fingerprint(untraced)
+
+    def test_live_tracer_does_not_change_results(self):
+        untraced = run_scenario(TINY)
+        tracer = Tracer(RingBufferSink())
+        traced = run_scenario(TINY, tracer=tracer)
+        assert _fingerprint(traced) == _fingerprint(untraced)
+        assert tracer.stats()["emitted"] > 0
+
+    def test_profiled_run_does_not_change_results(self):
+        plain = run_scenario(TINY)
+        profiled = run_scenario(TINY, profile=True)
+        assert _fingerprint(profiled) == _fingerprint(plain)
+        assert profiled.profile is not None
+        assert profiled.profile["events"] > 0
+        assert plain.profile is None
+
+
+class TestManifestProvenance:
+    def test_manifest_block(self):
+        result = run_scenario(TINY)
+        manifest = result.manifest
+        assert manifest["seed"] == TINY.seed
+        assert manifest["config_hash"] == run_scenario(TINY).manifest["config_hash"]
+        assert "channel" in manifest["rng_streams"]
+        assert manifest["events_executed"] > 0
+        assert manifest["sim_end_time_s"] == result.end_time
+        assert manifest["mac"]["num_probes"] == TINY.config.num_probes
+        assert manifest["timing"]["wall_time_s"] > 0

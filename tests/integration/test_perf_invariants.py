@@ -25,8 +25,17 @@ GOLDEN = Scenario(
 
 
 def result_fingerprint(result):
-    """Every RunResult field, exact — no tolerances anywhere."""
-    return dataclasses.asdict(result)
+    """Every RunResult field, exact — no tolerances anywhere.
+
+    The manifest is dropped: its timing block (wall clock, peak RSS) is
+    volatile by design, and everything reproducible in it (seed, config
+    hash, rng streams) is covered by its own tests.  ``profile`` is None
+    on unprofiled runs but popped too for symmetry.
+    """
+    fingerprint = dataclasses.asdict(result)
+    fingerprint.pop("manifest", None)
+    fingerprint.pop("profile", None)
+    return fingerprint
 
 
 @pytest.fixture(scope="module")

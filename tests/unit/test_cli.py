@@ -32,6 +32,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_run_trace_and_profile_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--trace", "out.ndjson", "--profile"]
+        )
+        assert args.trace == "out.ndjson"
+        assert args.profile
+
+    def test_inspect_command(self):
+        args = build_parser().parse_args(
+            ["inspect", "trace.ndjson", "--validate", "--max-nodes", "5"]
+        )
+        assert args.command == "inspect"
+        assert args.trace == "trace.ndjson"
+        assert args.validate
+        assert args.max_nodes == 5
+
 
 class TestCommands:
     def test_estimator_command(self, capsys):
@@ -53,3 +69,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "total wakeups" in out
         assert "coverage lifetime" in out
+
+    def test_run_traced_then_inspect(self, capsys, tmp_path):
+        trace = tmp_path / "run.ndjson"
+        assert main(["run", "--nodes", "12", "--seed", "1", "--no-traffic",
+                     "--failure-rate", "0", "--trace", str(trace),
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "engine profile" in out
+        assert "provenance" in out
+        assert trace.exists()
+        manifest = tmp_path / "run.manifest.json"
+        assert manifest.exists()
+
+        assert main(["inspect", str(trace), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "schema OK" in out
+        assert "per-node state timelines" in out
+
+    def test_inspect_invalid_trace_fails(self, capsys, tmp_path):
+        trace = tmp_path / "bad.ndjson"
+        trace.write_text('{"t": 0, "ev": "bogus", "node": 1}\n')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inspect", str(trace), "--validate"])
+        assert excinfo.value.code == 1
+        assert "schema violation" in capsys.readouterr().err

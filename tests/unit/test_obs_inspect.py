@@ -1,0 +1,103 @@
+"""Unit tests for trace summarization (``repro.obs.inspect``)."""
+
+from repro.obs import events, render_summary, summarize_trace
+from repro.obs.events import encode_event
+from repro.obs.inspect import summarize_trace_file
+
+
+def _sample_events():
+    return [
+        events.state(0.0, 1, "sleeping", "probing"),
+        events.probe_tx(0.0, 1, wakeup=0, idx=0),
+        events.reply_tx(0.01, 2, lam=0.02, tw=30.0),
+        events.state(0.1, 1, "probing", "sleeping", cause="reply_heard", rate_hz=1.0),
+        events.rate(0.1, 1, old_hz=1.0, new_hz=0.5, lam=0.02),
+        events.lambda_hat(5.0, 2, lam=0.03, window=1),
+        events.collision(6.0, 2, frames=2),
+        events.drop(6.5, 1, "half_duplex"),
+        events.energy(7.0, 1, "probe_tx", 0.001),
+        events.energy(7.0, 2, "reply_tx", 0.002),
+        events.fail(8.0, 2),
+        events.state(8.0, 2, "working", "dead", cause="failure"),
+    ]
+
+
+class TestSummarize:
+    def test_counts_and_span(self):
+        summary = summarize_trace(_sample_events())
+        assert summary.n_events == 12
+        assert summary.t_min == 0.0
+        assert summary.t_max == 8.0
+        assert summary.by_type["state"] == 3
+        assert summary.by_type["energy"] == 2
+
+    def test_transitions_per_node(self):
+        summary = summarize_trace(_sample_events())
+        assert [hop[1:3] for hop in summary.transitions[1]] == [
+            ("sleeping", "probing"),
+            ("probing", "sleeping"),
+        ]
+        assert summary.transitions[1][1][3] == "reply_heard"
+
+    def test_series_and_aggregates(self):
+        summary = summarize_trace(_sample_events())
+        assert summary.lambda_series == [(5.0, 0.03)]
+        assert summary.rate_series == [(0.1, 0.5)]
+        assert summary.energy_by_cat == {"probe_tx": 0.001, "reply_tx": 0.002}
+        assert summary.collisions == 2
+        assert summary.drops == {"half_duplex": 1}
+        assert summary.failures == [(8.0, 2)]
+
+    def test_top_talkers(self):
+        summary = summarize_trace(_sample_events())
+        talkers = summary.top_talkers()
+        assert talkers[0] in [(1, 1, 0), (2, 0, 1)]
+        assert len(talkers) == 2
+
+    def test_mode_durations(self):
+        summary = summarize_trace(_sample_events())
+        durations = summary.mode_durations(1)
+        # sleeping [0, 0] + probing [0, 0.1] + sleeping [0.1, 8.0 (t_max)]
+        assert durations["probing"] == 0.1
+        assert durations["sleeping"] == 7.9
+
+    def test_nodes_sorts_sensors_before_anchors(self):
+        trace = [
+            events.state(0.0, "anchor0", "sleeping", "probing"),
+            events.state(0.0, 5, "sleeping", "probing"),
+        ]
+        assert summarize_trace(trace).nodes == [5, "anchor0"]
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.n_events == 0
+        assert summary.t_min is None
+        assert "(empty)" in render_summary(summary)
+
+
+class TestRender:
+    def test_render_mentions_everything(self):
+        text = render_summary(summarize_trace(_sample_events()))
+        assert "12 events" in text
+        assert "top talkers" in text
+        assert "lambda-hat" in text
+        assert "energy by category" in text
+        assert "per-node state timelines" in text
+        assert "failures injected: 1" in text
+
+    def test_render_caps_node_list(self):
+        trace = [events.state(0.0, n, "sleeping", "probing") for n in range(30)]
+        text = render_summary(summarize_trace(trace), max_nodes=10)
+        assert "10 of 30 nodes" in text
+        assert "20 more nodes elided" in text
+
+
+class TestFileRoundTrip:
+    def test_summarize_trace_file(self, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        path.write_text(
+            "\n".join(encode_event(e) for e in _sample_events()) + "\n"
+        )
+        summary = summarize_trace_file(path)
+        assert summary.n_events == 12
+        assert summary.failures == [(8.0, 2)]

@@ -1,0 +1,141 @@
+"""Unit tests for engine profiling (``repro.sim.profiling`` + the
+``Simulator.profiled`` hook)."""
+
+import pytest
+
+from repro.sim import EngineProfiler, SimulationError, Simulator
+from repro.sim.profiling import _GAUGE_PERIOD, _HIST_BUCKETS, LabelStats
+
+
+class TestLabelStats:
+    def test_accumulates(self):
+        stats = LabelStats()
+        stats.record(1e-6)
+        stats.record(3e-6)
+        assert stats.count == 2
+        assert stats.total_s == pytest.approx(4e-6)
+        assert stats.min_s == pytest.approx(1e-6)
+        assert stats.max_s == pytest.approx(3e-6)
+
+    def test_histogram_buckets_log2(self):
+        stats = LabelStats()
+        stats.record(0.5e-6)  # <1us -> bucket 0
+        stats.record(1e-6)  # 1us -> bucket 1
+        stats.record(3e-6)  # 2-3us -> bucket 2
+        assert stats.hist[0] == 1
+        assert stats.hist[1] == 1
+        assert stats.hist[2] == 1
+
+    def test_histogram_overflow_clamps(self):
+        stats = LabelStats()
+        stats.record(10_000.0)  # absurd dt -> last bucket
+        assert stats.hist[_HIST_BUCKETS - 1] == 1
+
+    def test_as_dict_elides_trailing_zeros(self):
+        stats = LabelStats()
+        stats.record(1e-6)
+        payload = stats.as_dict()
+        assert payload["count"] == 1
+        assert payload["hist_log2_us"] == [0, 1]
+
+
+class TestEngineProfiler:
+    def test_record_and_as_dict(self):
+        profiler = EngineProfiler()
+        profiler.record("a", 2e-6)
+        profiler.record("a", 2e-6)
+        profiler.record("b", 10e-6)
+        profiler.sample_gauges(heap_size=8, live=5)
+        payload = profiler.as_dict()
+        assert payload["events"] == 3
+        # Sorted by total self-time: b (10us) before a (4us).
+        assert list(payload["by_label"]) == ["b", "a"]
+        assert payload["gauges"] == {
+            "max_heap": 8,
+            "max_live": 5,
+            "max_tombstones": 3,
+        }
+
+    def test_report_renders(self):
+        profiler = EngineProfiler()
+        profiler.record("tick", 5e-6)
+        text = profiler.report()
+        assert "engine profile" in text
+        assert "tick" in text
+
+    def test_render_from_dict_matches_report(self):
+        profiler = EngineProfiler()
+        profiler.record("tick", 5e-6)
+        assert EngineProfiler.render(profiler.as_dict()) == profiler.report()
+
+    def test_render_limit(self):
+        profiler = EngineProfiler()
+        for i in range(5):
+            profiler.record(f"label{i}", 1e-6)
+        text = EngineProfiler.render(profiler.as_dict(), limit=2)
+        assert sum(1 for line in text.splitlines() if "label" in line and "label0" != line) >= 1
+        assert len(text.splitlines()) == 5  # 3 header lines + 2 label rows
+
+
+class TestProfiledRuns:
+    def test_profiled_context_counts_dispatches(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), fired.append, i, label="tick")
+        sim.schedule(0.5, fired.append, -1)  # unlabeled -> callback qualname
+        with sim.profiled() as prof:
+            sim.run()
+        assert len(fired) == 11
+        assert prof.events == 11
+        assert prof.labels["tick"].count == 10
+        assert sim.profiler is None  # detached on exit
+
+    def test_profiled_results_match_unprofiled(self):
+        def collect(sim):
+            order = []
+            for i in range(50):
+                sim.schedule(float(50 - i), order.append, i, label="tick")
+            return order
+
+        plain_sim = Simulator()
+        plain = collect(plain_sim)
+        plain_sim.run()
+
+        prof_sim = Simulator()
+        profiled = collect(prof_sim)
+        with prof_sim.profiled():
+            prof_sim.run()
+        assert profiled == plain
+        assert prof_sim.now == plain_sim.now
+        assert prof_sim.events_executed == plain_sim.events_executed
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        with sim.profiled():
+            with pytest.raises(SimulationError):
+                with sim.profiled():
+                    pass
+
+    def test_gauges_sampled_during_run(self):
+        sim = Simulator()
+
+        def noop():
+            pass
+
+        for i in range(2 * _GAUGE_PERIOD):
+            sim.schedule(float(i), noop, label="tick")
+        with sim.profiled() as prof:
+            sim.run()
+        assert prof.max_heap >= 1
+        assert prof.max_live >= 1
+
+    def test_tombstones_property(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        victim = sim.schedule(2.0, lambda: None)
+        assert sim.tombstones == 0
+        victim.cancel()
+        assert sim.tombstones == 1
+        keep.cancel()  # silence unused warning; both cancelled now
+        assert sim.tombstones == 2

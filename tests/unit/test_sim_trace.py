@@ -58,6 +58,22 @@ class TestTimeWeightedValue:
         twv = TimeWeightedValue(initial=2.0, start_time=10.0)
         assert twv.mean(20.0) == pytest.approx(2.0)
 
+    def test_zero_span_mean_is_current_value(self):
+        # At now == start_time nothing has been integrated; the mean is
+        # defined as the only value the signal has ever held, not 0/0.
+        twv = TimeWeightedValue(initial=7.5, start_time=10.0)
+        assert twv.mean(10.0) == 7.5
+
+    def test_zero_span_mean_after_zero_dt_update(self):
+        twv = TimeWeightedValue(initial=1.0, start_time=3.0)
+        twv.update(3.0, 9.0)  # zero-duration step at the start instant
+        assert twv.mean(3.0) == 9.0
+
+    def test_backwards_mean_window_rejected(self):
+        twv = TimeWeightedValue(initial=1.0, start_time=10.0)
+        with pytest.raises(ValueError, match="before it starts"):
+            twv.mean(9.0)
+
 
 class TestSeriesRecorder:
     def test_record_and_read(self):
@@ -115,3 +131,21 @@ class TestTraceLog:
         for i in range(5):
             log.log(float(i), "x")
         assert len(log) == 2
+
+    def test_capacity_refusals_are_counted(self):
+        log = TraceLog(enabled=True, capacity=2)
+        for i in range(5):
+            log.log(float(i), "x")
+        assert log.dropped == 3
+
+    def test_disabled_log_drops_nothing(self):
+        log = TraceLog(enabled=False, capacity=1)
+        for i in range(5):
+            log.log(float(i), "x")
+        assert log.dropped == 0  # not recording is not dropping
+
+    def test_unbounded_log_never_drops(self):
+        log = TraceLog(enabled=True)
+        for i in range(100):
+            log.log(float(i), "x")
+        assert log.dropped == 0 and len(log) == 100
