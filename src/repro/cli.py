@@ -17,7 +17,6 @@ point), ``REPRO_PROCESSES`` (process-pool width).
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 from typing import List, Optional
 
@@ -43,6 +42,7 @@ from .experiments import (
     table1_rows,
 )
 from .net import Field
+from .sim import RngRegistry
 
 __all__ = ["main"]
 
@@ -63,7 +63,10 @@ def _cmd_run(args: argparse.Namespace) -> None:
     if args.trace:
         tracer = Tracer(NdjsonSink(args.trace))
     try:
-        result = run_scenario(scenario, tracer=tracer, profile=args.profile)
+        result = run_scenario(
+            scenario, tracer=tracer, profile=args.profile,
+            sanitize=args.sanitize,
+        )
     finally:
         if tracer is not None:
             tracer.close()
@@ -87,6 +90,9 @@ def _cmd_run(args: argparse.Namespace) -> None:
     )
     print(f"  failures injected: {result.failures_injected} "
           f"({result.failure_fraction * 100:.1f}%)")
+    if args.sanitize:
+        print(f"  sanitizer: {result.extras.get('sanitizer_checks', 0):.0f} "
+              f"invariant checks, 0 violations")
     if result.extras:
         print(f"  replacement gaps: n={result.extras['gap_count']:.0f} "
               f"mean={result.extras['gap_mean_s']:.1f}s "
@@ -179,7 +185,9 @@ def _cmd_baselines(args: argparse.Namespace) -> None:
 
 
 def _cmd_connectivity(args: argparse.Namespace) -> None:
-    rng = random.Random(args.seed)
+    # Derived, named stream (not bare random.Random(seed)): seeds stay
+    # decorrelated from every simulation stream built on the same master.
+    rng = RngRegistry(seed=args.seed).stream("analysis.connectivity")
     rows = connectivity_vs_range_factor(
         Field(args.side, args.side),
         num_nodes=args.nodes,
@@ -195,7 +203,7 @@ def _cmd_connectivity(args: argparse.Namespace) -> None:
 
 
 def _cmd_estimator(args: argparse.Namespace) -> None:
-    rng = random.Random(args.seed)
+    rng = RngRegistry(seed=args.seed).stream("analysis.estimator")
     rows = []
     for k in (4, 8, 16, 32, 64, 128):
         errors = simulate_estimator_errors(k, rate=0.02, trials=2000, rng=rng)
@@ -240,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(a .manifest.json is written next to it)")
     run_p.add_argument("--profile", action="store_true",
                        help="profile the engine and print a self-time breakdown")
+    run_p.add_argument("--sanitize", action="store_true",
+                       help="run with cheap invariant assertions (monotonic "
+                            "event time, legal transmissions, battery and "
+                            "estimator well-formedness); off by default")
 
     inspect_p = sub.add_parser(
         "inspect", help="summarize an NDJSON trace (timelines, top talkers)"
@@ -275,11 +287,25 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--seed", type=int, default=0)
     report_p.add_argument("--failure-rate", type=float, default=10.66)
 
+    # ``peas-repro lint`` delegates to the standalone peas-lint parser so the
+    # two entry points stay flag-identical; unknown args flow through.
+    sub.add_parser(
+        "lint",
+        help="static analysis: determinism / hot-path / schema rules "
+             "(same flags as peas-lint)",
+        add_help=False,
+    )
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.command == "run":
         _cmd_run(args)
     elif args.command in ("fig9", "fig10", "fig11", "table1"):

@@ -124,6 +124,26 @@ class RateEstimator:
             return self._measured
         return (self._count + 0.5) / elapsed
 
+    def assert_well_formed(self, now: float) -> None:
+        """Sanitizer entry point: raise if the measurement window is corrupt."""
+        from ..sim.sanitizer import InvariantViolation
+
+        if self._count is not None and not 0 <= self._count < self.k:
+            raise InvariantViolation(
+                f"estimator window count {self._count!r} outside [0, "
+                f"{self.k}) — on_probe must restart the window at k arrivals"
+            )
+        if self._t0 > now + 1e-9:
+            raise InvariantViolation(
+                f"estimator window starts in the future: t0={self._t0!r} "
+                f"but now={now!r}"
+            )
+        if self._measured is not None and not self._measured > 0:
+            raise InvariantViolation(
+                f"completed-window lambda-hat must be positive, got "
+                f"{self._measured!r}"
+            )
+
     def on_probe(self, now: float, wakeup_key: Tuple) -> Optional[float]:
         """Register a PROBE arrival; returns a fresh full-window measurement
         when the window completes, else ``None``.

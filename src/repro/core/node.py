@@ -399,6 +399,41 @@ class PEASNode:
             if overlap_should_sleep(self.working_duration, message.working_duration):
                 self._overlap_turnoff()
 
+    # ------------------------------------------------------------ sanitizer
+    def assert_invariants(self, now: float) -> None:
+        """Raise :class:`~repro.sim.sanitizer.InvariantViolation` on corrupt
+        node state.  Read-only; called by the sanitizer's periodic sweep."""
+        from ..sim.sanitizer import InvariantViolation
+
+        self.battery.assert_invariants(now)
+        mode = self.mode
+        if mode is NodeMode.DEAD:
+            if self.death_cause is None:
+                raise InvariantViolation(
+                    f"node {self._node_id!r} is dead without a death cause"
+                )
+        elif self.rate_hz <= 0:
+            raise InvariantViolation(
+                f"node {self._node_id!r} has a non-positive wakeup rate "
+                f"({self.rate_hz!r} Hz); eq. (2) clamps to [min_rate, max_rate]"
+            )
+        if mode is NodeMode.WORKING:
+            if self.work_started_at is None:
+                raise InvariantViolation(
+                    f"working node {self._node_id!r} has no work start time"
+                )
+            if self.work_started_at > now + 1e-9:
+                raise InvariantViolation(
+                    f"node {self._node_id!r} started working in the future "
+                    f"(t={self.work_started_at!r}, now={now!r})"
+                )
+            if self.estimator is None:
+                raise InvariantViolation(
+                    f"working node {self._node_id!r} lost its rate estimator"
+                )
+        if self.estimator is not None:
+            self.estimator.assert_well_formed(now)
+
     # ---------------------------------------------------------------- death
     def on_energy_charged(self) -> None:
         """Called by the orchestrator's energy hook after a frame charge."""

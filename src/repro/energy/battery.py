@@ -93,6 +93,37 @@ class NodeBattery:
         self._remaining = max(0.0, self._remaining - joules)
         self.by_category[category] = self.by_category.get(category, 0.0) + joules
 
+    # ----------------------------------------------------------- invariants
+    def assert_invariants(self, now: float) -> None:
+        """Sanitizer entry point: raise if the battery state is corrupt.
+
+        Read-only — does **not** integrate pending draw, so a sanitized run
+        consumes exactly the same energy trajectory as an unsanitized one.
+        """
+        from ..sim.sanitizer import InvariantViolation
+
+        if self._remaining < -1e-9:
+            raise InvariantViolation(
+                f"battery energy went negative: {self._remaining!r} J "
+                f"(initial {self.initial_j} J)"
+            )
+        if self._remaining > self.initial_j + 1e-9:
+            raise InvariantViolation(
+                f"battery energy exceeds its initial charge: "
+                f"{self._remaining!r} J > {self.initial_j} J"
+            )
+        if self._last_update > now + 1e-9:
+            raise InvariantViolation(
+                f"battery clock ran ahead of the simulation: last update at "
+                f"t={self._last_update!r} but now={now!r}"
+            )
+        for category, joules in self.by_category.items():
+            if joules < 0:
+                raise InvariantViolation(
+                    f"energy category {category!r} accumulated a negative "
+                    f"total ({joules!r} J)"
+                )
+
     # ------------------------------------------------------------ internals
     def _integrate(self, now: float) -> None:
         if now < self._last_update:

@@ -20,7 +20,7 @@ from ..net.mac import window_layout
 from ..obs import build_manifest
 from ..obs.tracer import Tracer
 from ..routing import GrabRouter, ReportTraffic, WorkingTopology
-from ..sim import EngineProfiler, RngRegistry, Simulator
+from ..sim import EngineProfiler, RngRegistry, SimSanitizer, Simulator
 from .metrics import RunResult
 from .scenario import Scenario
 
@@ -65,6 +65,7 @@ def run_scenario(
     *,
     tracer: Optional[Tracer] = None,
     profile: bool = False,
+    sanitize: bool = False,
 ) -> RunResult:
     """Run one scenario to completion and collect the §5 metrics.
 
@@ -79,11 +80,24 @@ def run_scenario(
     profile:
         Attach an :class:`~repro.sim.EngineProfiler` for the whole run and
         store its breakdown on ``result.profile``.
+    sanitize:
+        Attach a :class:`~repro.sim.SimSanitizer`: cheap invariant
+        assertions (monotonic event time, legal transmissions, battery and
+        estimator well-formedness) that raise
+        :class:`~repro.sim.sanitizer.InvariantViolation` on the first
+        failure.  Off by default; results are bit-identical either way —
+        the checks are read-only.
     """
     wall_start = time.perf_counter()
     sim = Simulator()
     rngs = RngRegistry(seed=scenario.seed)
+    sanitizer: Optional[SimSanitizer] = None
+    if sanitize:
+        sanitizer = SimSanitizer()
+        sanitizer.install(sim)
     network = build_network(scenario, sim, rngs, tracer=tracer)
+    if sanitizer is not None:
+        sanitizer.attach_network(network)
     field = network.field
     profiler: Optional[EngineProfiler] = None
     if profile:
@@ -219,6 +233,11 @@ def run_scenario(
         result.extras["gap_mean_s"] = gap_monitor.mean_gap()
         result.extras["gap_max_s"] = gap_monitor.max_gap()
         result.extras["gap_p95_s"] = gap_monitor.percentile_gap(0.95)
+    if sanitizer is not None:
+        # Final sweep so end-of-run state is checked even when the last
+        # sweep period did not elapse, then report what ran.
+        sanitizer.sweep(sim.now)
+        result.extras["sanitizer_checks"] = float(sanitizer.total_checks)
     if profiler is not None:
         sim.profiler = None
         result.profile = profiler.as_dict()

@@ -1,0 +1,66 @@
+"""``repro.lint``: dependency-free static analysis for the reproduction.
+
+The PEAS results are only meaningful because every run is a pure function
+of its seed.  This package turns the conventions that guarantee that —
+named :class:`~repro.sim.rng.RngRegistry` streams, no wall-clock reads in
+simulation code, guarded hot-path tracing, a drift-free trace schema —
+into machine-checked rules with a violations baseline.
+
+Layout:
+
+* :mod:`repro.lint.framework` — the pluggable AST checker framework;
+* :mod:`repro.lint.rules_determinism` — D1xx determinism rules;
+* :mod:`repro.lint.rules_hotpath` — H2xx hot-path hygiene rules (over the
+  :mod:`repro.lint.hotpaths` registry);
+* :mod:`repro.lint.rules_schema` — S3xx trace-schema consistency;
+* :mod:`repro.lint.baseline` — the accepted-findings ratchet;
+* :mod:`repro.lint.cli` — ``peas-lint`` / ``peas-repro lint``.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and how to add a rule.
+"""
+
+from .baseline import (
+    BASELINE_VERSION,
+    BaselineError,
+    load_baseline,
+    partition_by_baseline,
+    save_baseline,
+)
+from .framework import (
+    Checker,
+    FileContext,
+    LintError,
+    all_checkers,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    register,
+)
+from .violations import (
+    CATEGORIES,
+    CATEGORY_DETERMINISM,
+    CATEGORY_HOT_PATH,
+    CATEGORY_SCHEMA,
+    Violation,
+)
+
+__all__ = [
+    "Violation",
+    "CATEGORIES",
+    "CATEGORY_DETERMINISM",
+    "CATEGORY_HOT_PATH",
+    "CATEGORY_SCHEMA",
+    "Checker",
+    "FileContext",
+    "LintError",
+    "register",
+    "all_checkers",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "BASELINE_VERSION",
+    "BaselineError",
+    "load_baseline",
+    "save_baseline",
+    "partition_by_baseline",
+]

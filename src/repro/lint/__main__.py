@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — the same entry point as ``peas-lint``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

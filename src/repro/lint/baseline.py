@@ -1,0 +1,121 @@
+"""Violations baseline: ratchet on *new* findings.
+
+A baseline file records the fingerprints of currently-accepted findings so
+CI fails only when a change *introduces* a violation.  The workflow:
+
+* ``peas-lint src/ --baseline lint-baseline.json`` — exit non-zero iff there
+  are findings not in the baseline;
+* ``peas-lint src/ --baseline lint-baseline.json --update-baseline`` —
+  rewrite the baseline to the current findings (review the diff!);
+* fixing a baselined violation and regenerating shrinks the file — the
+  ratchet only ever tightens in review.
+
+Policy: :data:`repro.lint.violations.CATEGORY_DETERMINISM` findings must be
+fixed, not baselined — seed-reproducibility is the repository's core
+contract.  ``--update-baseline`` refuses to write them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .violations import CATEGORY_DETERMINISM, Violation
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "load_baseline",
+    "save_baseline",
+    "partition_by_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(RuntimeError):
+    """Raised for unreadable baselines or policy violations on update."""
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Read a baseline file into ``{fingerprint: allowed occurrence count}``.
+
+    A missing file is an empty baseline (first run bootstraps the ratchet).
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: baseline is not valid JSON ({exc})")
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise BaselineError(f"{path}: baseline must be an object with 'entries'")
+    if payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: unsupported baseline version {payload.get('version')!r}"
+        )
+    counts: Counter[str] = Counter()
+    for entry in payload["entries"]:
+        fingerprint = entry.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            raise BaselineError(f"{path}: entry without fingerprint: {entry!r}")
+        counts[fingerprint] += 1
+    return dict(counts)
+
+
+def save_baseline(
+    path: Union[str, Path],
+    violations: Sequence[Violation],
+    allow_determinism: bool = False,
+) -> None:
+    """Write the baseline for ``violations`` (sorted, one entry per finding).
+
+    Determinism-category findings are refused unless ``allow_determinism``
+    — they must be fixed at the source, not accepted.
+    """
+    if not allow_determinism:
+        blocked = [v for v in violations if v.category == CATEGORY_DETERMINISM]
+        if blocked:
+            listing = "\n  ".join(v.render() for v in blocked)
+            raise BaselineError(
+                "refusing to baseline determinism violations (fix them "
+                f"instead):\n  {listing}"
+            )
+    entries = [v.as_dict() for v in violations]
+    entries.sort(key=lambda e: (e["path"], e["line"], e["rule"]))
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Accepted peas-lint findings. Regenerate with "
+            "'peas-lint <paths> --baseline <this file> --update-baseline'; "
+            "the ratchet fails CI only on findings not listed here."
+        ),
+        "entries": entries,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def partition_by_baseline(
+    violations: Sequence[Violation], baseline: Dict[str, int]
+) -> Tuple[List[Violation], List[Violation]]:
+    """Split findings into ``(new, suppressed)`` against baseline counts.
+
+    Occurrence-counted: if the baseline holds a fingerprint twice and the
+    tree now produces it three times, one finding is new.
+    """
+    budget: Counter[str] = Counter(baseline)
+    new: List[Violation] = []
+    suppressed: List[Violation] = []
+    for violation in violations:
+        fingerprint = violation.fingerprint()
+        if budget[fingerprint] > 0:
+            budget[fingerprint] -= 1
+            suppressed.append(violation)
+        else:
+            new.append(violation)
+    return new, suppressed

@@ -1,0 +1,242 @@
+"""Hot-path hygiene rules.
+
+The PR-1/PR-2 fast paths only stay fast by convention: tracer emits are
+guarded by the ``is not None`` normalization and the engine dispatch loops
+avoid per-event allocation.  These rules pin the conventions to the
+registered hot functions (:mod:`repro.lint.hotpaths`):
+
+========  ======================  ==============================================
+``H201``  unguarded-trace-emit    a ``*.emit(...)`` on a tracer inside a hot
+                                  function must sit under ``<tracer> is not
+                                  None`` (or after an ``is None`` early exit);
+                                  an unguarded emit pays event-dict allocation
+                                  even with tracing off.
+``H202``  fast-loop-alloc         f-strings and dict/comprehension displays in
+                                  the engine's dispatch loops allocate per
+                                  event; only error paths (``raise``/
+                                  ``assert``) and ``is None`` slow branches
+                                  (memo misses, trace-on blocks) are exempt.
+========  ======================  ==============================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple, Type, Union
+
+from .framework import Checker, FileContext, register
+from .hotpaths import (
+    FAST_LOOP_MARKER,
+    HOT_MARKER,
+    fast_loops_for,
+    hot_functions_for,
+)
+from .violations import CATEGORY_HOT_PATH, Violation
+
+__all__ = ["UnguardedTraceEmitChecker", "FastLoopAllocChecker"]
+
+AnyFuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def index_functions(tree: ast.Module) -> Dict[str, AnyFuncDef]:
+    """Map dotted qualnames (``Class.method``) to their def nodes."""
+    found: Dict[str, AnyFuncDef] = {}
+
+    def walk(node: ast.AST, scope: Tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = ".".join(scope + (child.name,))
+                found[qualname] = child
+                walk(child, scope + (child.name,))
+            elif isinstance(child, ast.ClassDef):
+                walk(child, scope + (child.name,))
+            else:
+                walk(child, scope)
+
+    walk(tree, ())
+    return found
+
+
+def _marked(ctx: FileContext, fn: AnyFuncDef, marker: str) -> bool:
+    line = ctx.source_line(fn.lineno)
+    return marker in line
+
+
+def _none_compares(test: ast.expr, op_type: Type[ast.cmpop]) -> Set[str]:
+    """Dumps of expressions compared against None with ``op_type`` in ``test``.
+
+    Conjunctions distribute (``a is not None and b is not None`` guards
+    both); disjunctions do not.
+    """
+    found: Set[str] = set()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        for operand in test.values:
+            found |= _none_compares(operand, op_type)
+    elif isinstance(test, ast.Compare) and len(test.ops) == 1:
+        comparator = test.comparators[0]
+        if (
+            isinstance(test.ops[0], op_type)
+            and isinstance(comparator, ast.Constant)
+            and comparator.value is None
+        ):
+            found.add(ast.dump(test.left))
+    return found
+
+
+def _terminates(body: Sequence[ast.stmt]) -> bool:
+    """Does the block unconditionally leave the enclosing suite?"""
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _looks_like_tracer(receiver: ast.expr) -> bool:
+    if isinstance(receiver, ast.Name):
+        return "tracer" in receiver.id.lower()
+    if isinstance(receiver, ast.Attribute):
+        return "tracer" in receiver.attr.lower()
+    return False
+
+
+@register
+class UnguardedTraceEmitChecker(Checker):
+    rule = "H201"
+    name = "unguarded-trace-emit"
+    category = CATEGORY_HOT_PATH
+    description = (
+        "tracer .emit() calls in registered hot functions must be guarded "
+        "by an '<tracer> is not None' check (Tracer.active normalization)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        functions = index_functions(ctx.tree)
+        hot = hot_functions_for(ctx.rel_path)
+        for qualname, fn in functions.items():
+            if qualname in hot or _marked(ctx, fn, HOT_MARKER):
+                out: List[Violation] = []
+                self._scan_block(fn.body, set(), out, ctx)
+                yield from out
+
+    # ------------------------------------------------------------- traversal
+    def _scan_block(
+        self,
+        stmts: Sequence[ast.stmt],
+        guarded: Set[str],
+        out: List[Violation],
+        ctx: FileContext,
+    ) -> None:
+        guarded = set(guarded)
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                self._check_expr(stmt.test, guarded, out, ctx)
+                positive = _none_compares(stmt.test, ast.IsNot)
+                negative = _none_compares(stmt.test, ast.Is)
+                self._scan_block(stmt.body, guarded | positive, out, ctx)
+                self._scan_block(stmt.orelse, guarded | negative, out, ctx)
+                # `if x is None: return` guards the rest of this suite.
+                if negative and _terminates(stmt.body) and not stmt.orelse:
+                    guarded |= negative
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._check_expr(stmt.iter, guarded, out, ctx)
+                self._scan_block(stmt.body, guarded, out, ctx)
+                self._scan_block(stmt.orelse, guarded, out, ctx)
+            elif isinstance(stmt, ast.While):
+                self._check_expr(stmt.test, guarded, out, ctx)
+                self._scan_block(stmt.body, guarded, out, ctx)
+                self._scan_block(stmt.orelse, guarded, out, ctx)
+            elif isinstance(stmt, ast.Try):
+                self._scan_block(stmt.body, guarded, out, ctx)
+                for handler in stmt.handlers:
+                    self._scan_block(handler.body, guarded, out, ctx)
+                self._scan_block(stmt.orelse, guarded, out, ctx)
+                self._scan_block(stmt.finalbody, guarded, out, ctx)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._scan_block(stmt.body, guarded, out, ctx)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested defs are not part of this hot body
+            else:
+                self._check_expr(stmt, guarded, out, ctx)
+
+    def _check_expr(
+        self,
+        node: ast.AST,
+        guarded: Set[str],
+        out: List[Violation],
+        ctx: FileContext,
+    ) -> None:
+        for call in ast.walk(node):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "emit"
+            ):
+                continue
+            receiver = call.func.value
+            if not _looks_like_tracer(receiver):
+                continue
+            if ast.dump(receiver) not in guarded:
+                out.append(
+                    ctx.violation(
+                        self, call,
+                        "tracer emit in a hot function must be under an "
+                        "'<tracer> is not None' guard so disabled tracing "
+                        "costs one pointer comparison",
+                    )
+                )
+
+
+@register
+class FastLoopAllocChecker(Checker):
+    rule = "H202"
+    name = "fast-loop-alloc"
+    category = CATEGORY_HOT_PATH
+    description = (
+        "no f-string or dict/comprehension allocation in the engine's fast "
+        "dispatch loops outside error paths and 'is None' slow branches"
+    )
+
+    _ALLOC_NODES = (ast.JoinedStr, ast.Dict, ast.DictComp, ast.SetComp)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        functions = index_functions(ctx.tree)
+        loops = fast_loops_for(ctx.rel_path)
+        for qualname, fn in functions.items():
+            if qualname in loops or _marked(ctx, fn, FAST_LOOP_MARKER):
+                yield from self._scan(fn, ctx)
+
+    def _scan(self, fn: AnyFuncDef, ctx: FileContext) -> Iterator[Violation]:
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(fn):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for node in ast.walk(fn):
+            if not isinstance(node, self._ALLOC_NODES):
+                continue
+            if self._exempt(node, fn, parents):
+                continue
+            kind = "f-string" if isinstance(node, ast.JoinedStr) else "dict/comprehension"
+            yield ctx.violation(
+                self, node,
+                f"{kind} allocation inside an engine fast loop runs once per "
+                "event; hoist it, memoize it, or move it to a slow branch",
+            )
+
+    def _exempt(
+        self, node: ast.AST, fn: AnyFuncDef, parents: Dict[ast.AST, ast.AST]
+    ) -> bool:
+        current: ast.AST = node
+        while current is not fn:
+            parent = parents.get(current)
+            if parent is None:
+                return False
+            if isinstance(parent, (ast.Raise, ast.Assert)):
+                return True
+            if isinstance(parent, ast.If) and current is not parent.test:
+                if _none_compares(parent.test, ast.Is) or _none_compares(
+                    parent.test, ast.IsNot
+                ):
+                    return True
+            current = parent
+        return False

@@ -1,0 +1,238 @@
+"""Trace-schema consistency: constructors vs the published contract.
+
+``S301`` statically cross-checks :mod:`repro.obs.events` against
+:mod:`repro.obs.schema` so the ``peas-trace/1`` contract cannot drift:
+
+* every event type the constructors can emit has a schema entry, and every
+  schema entry has a constructor;
+* the keys a constructor *always* writes (beyond the ``t``/``ev``/``node``
+  envelope) are exactly the schema's required fields for that type;
+* keys a constructor writes *conditionally* never collide with required
+  fields (they must stay optional in the schema).
+
+Both files are read as AST only — the rule runs on trees that may not be
+importable (e.g. a broken working copy in CI).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from .framework import Checker, FileContext, register
+from .violations import CATEGORY_SCHEMA, Violation
+
+__all__ = ["TraceSchemaDriftChecker"]
+
+_ENVELOPE = {"t", "ev", "node"}
+
+
+def _module_constants(tree: ast.Module) -> Dict[str, str]:
+    """Top-level ``NAME = "literal"`` string assignments."""
+    constants: Dict[str, str] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            constants[node.targets[0].id] = node.value.value
+    return constants
+
+
+class _Constructor:
+    """What one events.py constructor writes: always vs conditional keys."""
+
+    def __init__(self, fn: ast.FunctionDef, ev_type: str,
+                 always: Set[str], conditional: Set[str]) -> None:
+        self.fn = fn
+        self.ev_type = ev_type
+        self.always = always
+        self.conditional = conditional
+
+
+def _dict_keys(node: ast.Dict, constants: Dict[str, str]) -> Optional[Dict[str, ast.expr]]:
+    """Literal string keys of a dict display (None on non-literal keys)."""
+    keys: Dict[str, ast.expr] = {}
+    for key, value in zip(node.keys, node.values):
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys[key.value] = value
+        else:
+            return None
+    return keys
+
+
+def _event_type_of(value: ast.expr, constants: Dict[str, str]) -> Optional[str]:
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return value.value
+    if isinstance(value, ast.Name):
+        return constants.get(value.id)
+    return None
+
+
+def _extract_constructor(
+    fn: ast.FunctionDef, constants: Dict[str, str]
+) -> Optional[_Constructor]:
+    """Parse one constructor: a returned dict literal, possibly assembled
+    through ``event = {...}`` plus conditional ``event["k"] = v`` stores."""
+    always: Optional[Set[str]] = None
+    ev_type: Optional[str] = None
+    conditional: Set[str] = set()
+    dict_var: Optional[str] = None
+    for stmt in ast.walk(fn):
+        if isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Dict):
+            keys = _dict_keys(stmt.value, constants)
+            if keys is not None and "ev" in keys:
+                always = set(keys)
+                ev_type = _event_type_of(keys["ev"], constants)
+        elif (
+            isinstance(stmt, (ast.Assign, ast.AnnAssign))
+            and isinstance(stmt.value, ast.Dict)
+        ):
+            target = stmt.targets[0] if isinstance(stmt, ast.Assign) else stmt.target
+            if isinstance(target, ast.Name):
+                keys = _dict_keys(stmt.value, constants)
+                if keys is not None and "ev" in keys:
+                    always = set(keys)
+                    ev_type = _event_type_of(keys["ev"], constants)
+                    dict_var = target.id
+    if always is None or ev_type is None:
+        return None
+    if dict_var is not None:
+        for stmt in ast.walk(fn):
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                continue
+            store = stmt.targets[0]
+            if (
+                isinstance(store, ast.Subscript)
+                and isinstance(store.value, ast.Name)
+                and store.value.id == dict_var
+            ):
+                key = store.slice
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    conditional.add(key.value)
+    return _Constructor(fn, ev_type, always, conditional - always)
+
+
+def _schema_required(
+    tree: ast.Module, events_constants: Dict[str, str]
+) -> Optional[Dict[str, Set[str]]]:
+    """Parse schema.py's ``_REQUIRED`` table: event type -> required fields."""
+    for node in tree.body:
+        if not (
+            isinstance(node, (ast.Assign, ast.AnnAssign))
+            and isinstance(node.value, ast.Dict)
+        ):
+            continue
+        target = node.targets[0] if isinstance(node, ast.Assign) else node.target
+        if not (isinstance(target, ast.Name) and target.id == "_REQUIRED"):
+            continue
+        table: Dict[str, Set[str]] = {}
+        for key, value in zip(node.value.keys, node.value.values):
+            if isinstance(key, ast.Attribute):
+                ev_type = events_constants.get(key.attr)
+            else:
+                ev_type = _event_type_of(key, events_constants) if key else None
+            if ev_type is None or not isinstance(value, ast.Tuple):
+                return None
+            fields: Set[str] = set()
+            for item in value.elts:
+                if (
+                    isinstance(item, ast.Tuple)
+                    and item.elts
+                    and isinstance(item.elts[0], ast.Constant)
+                    and isinstance(item.elts[0].value, str)
+                ):
+                    fields.add(item.elts[0].value)
+                else:
+                    return None
+            table[ev_type] = fields
+        return table
+    return None
+
+
+@register
+class TraceSchemaDriftChecker(Checker):
+    rule = "S301"
+    name = "trace-schema-drift"
+    category = CATEGORY_SCHEMA
+    description = (
+        "repro.obs.events constructors must match repro.obs.schema's "
+        "required-field table (the peas-trace/1 contract)"
+    )
+
+    def applies_to(self, rel_path: str) -> bool:
+        return rel_path.endswith("repro/obs/events.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        schema_path = ctx.path.parent / "schema.py"
+        if not schema_path.is_file():
+            yield ctx.violation(
+                self, ctx.tree,
+                f"cannot cross-check: {schema_path.name} not found beside "
+                "events.py",
+            )
+            return
+        schema_tree = ast.parse(schema_path.read_text(encoding="utf-8"))
+        constants = _module_constants(ctx.tree)
+        required = _schema_required(schema_tree, constants)
+        if required is None:
+            yield ctx.violation(
+                self, ctx.tree,
+                "schema.py's _REQUIRED table is no longer statically "
+                "parseable; keep it a literal dict of (field, types) tuples",
+            )
+            return
+
+        constructors: Dict[str, _Constructor] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                parsed = _extract_constructor(node, constants)
+                if parsed is not None:
+                    constructors[parsed.ev_type] = parsed
+
+        for ev_type in sorted(set(required) - set(constructors)):
+            yield ctx.violation(
+                self, ctx.tree,
+                f"schema declares event type {ev_type!r} but events.py has "
+                "no constructor producing it",
+            )
+        for ev_type, ctor in sorted(constructors.items()):
+            if ev_type not in required:
+                yield ctx.violation(
+                    self, ctor.fn,
+                    f"constructor emits event type {ev_type!r} which the "
+                    "schema does not declare",
+                )
+                continue
+            declared = required[ev_type]
+            emitted = ctor.always - _ENVELOPE
+            missing_env = _ENVELOPE - ctor.always
+            if missing_env:
+                yield ctx.violation(
+                    self, ctor.fn,
+                    f"{ev_type}: constructor omits envelope field(s) "
+                    f"{sorted(missing_env)}",
+                )
+            if emitted != declared:
+                extra = sorted(emitted - declared)
+                absent = sorted(declared - emitted)
+                details = []
+                if extra:
+                    details.append(f"emits undeclared {extra}")
+                if absent:
+                    details.append(f"omits required {absent}")
+                yield ctx.violation(
+                    self, ctor.fn,
+                    f"{ev_type}: constructor fields drifted from the schema "
+                    f"({'; '.join(details)})",
+                )
+            overlap = sorted(ctor.conditional & (declared | _ENVELOPE))
+            if overlap:
+                yield ctx.violation(
+                    self, ctor.fn,
+                    f"{ev_type}: conditionally-written key(s) {overlap} "
+                    "collide with required/envelope fields",
+                )

@@ -127,6 +127,10 @@ class BroadcastChannel:
         )
         #: normalized: None unless a real (non-null-sink) tracer was given
         self.tracer = tracer.active() if tracer is not None else None
+        #: optional :class:`repro.sim.sanitizer.SimSanitizer`; same idiom as
+        #: the tracer — one ``is not None`` test per transmit when attached,
+        #: nothing at all otherwise
+        self.sanitizer = None
         self.counters = CounterSet()
         self._endpoints: Dict[Hashable, RadioEndpoint] = {}
         #: receiver id -> {packet uid: in-flight reception at that receiver}
@@ -194,6 +198,8 @@ class BroadcastChannel:
         sender = self._endpoints.get(sender_id)
         if sender is None:
             raise KeyError(f"unknown sender {sender_id!r}")
+        if self.sanitizer is not None:
+            self.sanitizer.on_transmit(sender, self.sim.now)
         size = packet.size_bytes
         airtime = self._airtimes.get(size)
         if airtime is None:

@@ -8,10 +8,14 @@ Public surface:
 * :class:`~repro.sim.process.Timer` / :class:`~repro.sim.process.PeriodicProcess`
   / :func:`~repro.sim.process.start_process` — process-style helpers.
 * :class:`~repro.sim.trace.CounterSet` and friends — run statistics.
+* :class:`~repro.sim.sanitizer.SimSanitizer` — toggleable runtime invariant
+  checks (``peas-repro run --sanitize``), off by default and bit-identical
+  when off.
 """
 
 from .engine import SimulationError, Simulator
 from .profiling import EngineProfiler
+from .sanitizer import InvariantViolation, SimSanitizer
 from .events import (
     PRIORITY_DEFAULT,
     PRIORITY_HIGH,
@@ -27,6 +31,8 @@ __all__ = [
     "Simulator",
     "SimulationError",
     "EngineProfiler",
+    "SimSanitizer",
+    "InvariantViolation",
     "Event",
     "EventQueueEmpty",
     "PRIORITY_HIGH",

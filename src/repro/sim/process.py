@@ -28,7 +28,9 @@ class Timer:
     arming first.  The callback fires at most once per arming.
     """
 
-    def __init__(self, sim: Simulator, fn: Callable[..., Any], label: Optional[str] = None):
+    def __init__(
+        self, sim: Simulator, fn: Callable[..., Any], label: Optional[str] = None
+    ) -> None:
         self._sim = sim
         self._fn = fn
         self._label = label

@@ -18,7 +18,7 @@ name.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["EngineProfiler", "LabelStats"]
 
@@ -74,7 +74,7 @@ def _last_nonzero(buckets: List[int]) -> int:
 class EngineProfiler:
     """Collects per-label dispatch stats and engine gauges for one run."""
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self.clock = clock
         self.labels: Dict[str, LabelStats] = {}
         self.events = 0

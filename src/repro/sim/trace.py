@@ -143,7 +143,7 @@ class TraceLog:
         self.capacity = capacity
         #: entries rejected because the log was at capacity
         self.dropped = 0
-        self._entries: List[Tuple[float, str, tuple]] = []
+        self._entries: List[Tuple[float, str, Tuple[object, ...]]] = []
 
     def log(self, time: float, kind: str, *details: object) -> None:
         if not self.enabled:
@@ -153,7 +153,9 @@ class TraceLog:
             return
         self._entries.append((time, kind, details))
 
-    def entries(self, kind: Optional[str] = None) -> List[Tuple[float, str, tuple]]:
+    def entries(
+        self, kind: Optional[str] = None
+    ) -> List[Tuple[float, str, Tuple[object, ...]]]:
         if kind is None:
             return list(self._entries)
         return [e for e in self._entries if e[1] == kind]

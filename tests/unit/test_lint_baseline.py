@@ -1,0 +1,135 @@
+"""Baseline ratchet round-trips, the determinism-refusal policy, and the
+self-lint gate: the committed tree must stay clean against the committed
+``lint-baseline.json``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    CATEGORY_DETERMINISM,
+    CATEGORY_HOT_PATH,
+    Violation,
+    lint_paths,
+    load_baseline,
+    partition_by_baseline,
+    save_baseline,
+)
+from repro.lint.baseline import BaselineError
+from repro.lint.cli import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_violation(rule="H201", category=CATEGORY_HOT_PATH, line=10,
+                   source_line="self.tracer.emit(x)", path="repro/mod.py"):
+    return Violation(
+        rule=rule,
+        name="some-rule",
+        category=category,
+        path=path,
+        line=line,
+        col=4,
+        message="test finding",
+        source_line=source_line,
+    )
+
+
+# ----------------------------------------------------------------- round-trip
+def test_save_and_load_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    violations = [make_violation(line=10), make_violation(line=20)]
+    save_baseline(path, violations)
+    baseline = load_baseline(path)
+    new, suppressed = partition_by_baseline(violations, baseline)
+    assert new == []
+    assert suppressed == violations
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_corrupt_and_versioned_baselines_are_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("not json")
+    with pytest.raises(BaselineError, match="not valid JSON"):
+        load_baseline(path)
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(BaselineError, match="version"):
+        load_baseline(path)
+    path.write_text(json.dumps({"version": 1, "entries": [{"rule": "X"}]}))
+    with pytest.raises(BaselineError, match="fingerprint"):
+        load_baseline(path)
+
+
+def test_occurrence_counting(tmp_path):
+    # Two identical findings baselined; a third occurrence of the same
+    # fingerprint is NEW (same path + rule + source line => same print).
+    path = tmp_path / "baseline.json"
+    twice = [make_violation(line=10), make_violation(line=20)]
+    save_baseline(path, twice)
+    thrice = twice + [make_violation(line=30)]
+    assert all(v.fingerprint() == thrice[0].fingerprint() for v in thrice)
+    new, suppressed = partition_by_baseline(thrice, load_baseline(path))
+    assert len(suppressed) == 2
+    assert len(new) == 1
+
+
+# --------------------------------------------------------------------- policy
+def test_determinism_findings_are_refused(tmp_path):
+    path = tmp_path / "baseline.json"
+    bad = make_violation(rule="D101", category=CATEGORY_DETERMINISM)
+    with pytest.raises(BaselineError, match="determinism"):
+        save_baseline(path, [bad])
+    assert not path.exists()
+    save_baseline(path, [bad], allow_determinism=True)
+    assert len(load_baseline(path)) == 1
+
+
+def test_cli_update_refuses_determinism(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    baseline = tmp_path / "baseline.json"
+    assert run_lint([str(dirty), "--baseline", str(baseline),
+                     "--update-baseline"]) == 2
+    assert not baseline.exists()
+
+
+def test_cli_ratchet_suppresses_then_catches_new(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "def hot(tracer):  # peas-lint: hot\n"
+        "    tracer.emit({})\n"
+    )
+    baseline = tmp_path / "baseline.json"
+    assert run_lint([str(dirty), "--root", str(tmp_path),
+                     "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert run_lint([str(dirty), "--root", str(tmp_path),
+                     "--baseline", str(baseline)]) == 0
+    dirty.write_text(
+        dirty.read_text() +
+        "\ndef hot2(tracer):  # peas-lint: hot\n"
+        "    tracer.emit({1: 2})\n"
+    )
+    assert run_lint([str(dirty), "--root", str(tmp_path),
+                     "--baseline", str(baseline)]) == 1
+
+
+# ------------------------------------------------------------------ self-lint
+def test_tree_is_clean_against_committed_baseline():
+    """The acceptance gate: ``peas-lint src/`` must pass on this checkout."""
+    findings = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+    new, _suppressed = partition_by_baseline(findings, baseline)
+    assert new == [], "\n".join(v.render() for v in new)
+
+
+def test_committed_baseline_contains_no_determinism_entries():
+    payload = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert payload["version"] == 1
+    offenders = [e for e in payload["entries"]
+                 if e.get("category") == CATEGORY_DETERMINISM]
+    assert offenders == []

@@ -1,0 +1,145 @@
+"""SimSanitizer: every invariant trips on deliberately corrupted state, the
+wiring costs nothing when off, and check accounting is truthful.
+"""
+
+import pytest
+
+from repro.core.states import NodeMode
+from repro.net import Packet
+from repro.sim import InvariantViolation, SimSanitizer, Simulator
+from repro.sim.sanitizer import DEFAULT_SWEEP_PERIOD
+
+from tests.helpers import make_network
+
+
+def sanitized_network(**kwargs):
+    """A started network with the sanitizer fully wired, run for a while."""
+    sim, network = make_network(**kwargs)
+    sanitizer = SimSanitizer()
+    sanitizer.install(sim)
+    sanitizer.attach_network(network)
+    network.start()
+    sim.run(until=200.0)
+    return sim, network, sanitizer
+
+
+# ----------------------------------------------------------------- clean runs
+def test_clean_run_passes_and_counts_checks():
+    sim, network, sanitizer = sanitized_network(num_nodes=25)
+    sanitizer.sweep(sim.now)
+    report = sanitizer.report()
+    assert report["events_checked"] > 0
+    assert report["transmissions_checked"] > 0
+    assert report["sweeps"] > 0
+    assert report["node_checks"] >= len(network.nodes)
+    assert sanitizer.total_checks == (
+        report["events_checked"]
+        + report["transmissions_checked"]
+        + report["node_checks"]
+    )
+
+
+def test_off_means_nothing_installed():
+    sim, network = make_network(num_nodes=10)
+    assert sim.pre_event_hooks == []
+    assert network.channel.sanitizer is None
+    network.start()
+    sim.run(until=50.0)  # no checks, no errors
+
+
+def test_install_is_exclusive_and_uninstall_detaches():
+    sim = Simulator()
+    sanitizer = SimSanitizer()
+    sanitizer.install(sim)
+    with pytest.raises(RuntimeError):
+        sanitizer.install(sim)
+    assert sim.pre_event_hooks == [sanitizer._on_event]
+    sanitizer.uninstall()
+    assert sim.pre_event_hooks == []
+
+
+def test_sweep_period_validation():
+    with pytest.raises(ValueError):
+        SimSanitizer(sweep_period=0)
+    assert SimSanitizer().sweep_period == DEFAULT_SWEEP_PERIOD
+
+
+# ------------------------------------------------------------------ invariants
+def test_monotonic_time_violation_trips():
+    sim = Simulator()
+    sanitizer = SimSanitizer()
+    sanitizer.install(sim)
+    sim.schedule(1.0, lambda: None)
+    sanitizer._last_time = 10.0  # simulate an earlier event far in the future
+    with pytest.raises(InvariantViolation, match="backwards"):
+        sim.run()
+
+
+def test_negative_battery_trips():
+    sim, network, sanitizer = sanitized_network(num_nodes=10)
+    node = next(iter(network.nodes.values()))
+    node.battery._remaining = -1.0
+    with pytest.raises(InvariantViolation, match="negative"):
+        sanitizer.sweep(sim.now)
+
+
+def test_battery_clock_ahead_of_sim_trips():
+    sim, network, sanitizer = sanitized_network(num_nodes=10)
+    node = next(iter(network.nodes.values()))
+    node.battery._last_update = sim.now + 1e6
+    with pytest.raises(InvariantViolation, match="ran ahead"):
+        sanitizer.sweep(sim.now)
+
+
+def test_dead_without_cause_trips():
+    sim, network, sanitizer = sanitized_network(num_nodes=10)
+    node_id = next(iter(network.nodes))
+    network.kill(node_id)
+    node = network.nodes[node_id]
+    assert node.mode is NodeMode.DEAD
+    node.death_cause = None
+    with pytest.raises(InvariantViolation, match="without a death cause"):
+        sanitizer.sweep(sim.now)
+
+
+def test_corrupt_estimator_window_trips():
+    sim, network, sanitizer = sanitized_network(num_nodes=25)
+    workers = [n for n in network.nodes.values()
+               if n.mode is NodeMode.WORKING and n.estimator is not None]
+    assert workers, "a 25-node network must have working nodes by t=200"
+    workers[0].estimator._count = workers[0].estimator.k + 1
+    with pytest.raises(InvariantViolation, match="window count"):
+        sanitizer.sweep(sim.now)
+
+
+def test_transmit_while_not_listening_trips():
+    sim, network, sanitizer = sanitized_network(num_nodes=25)
+    sleeper = next(
+        (n for n in network.nodes.values()
+         if n.alive and not n.is_listening()),
+        None,
+    )
+    assert sleeper is not None, "a 25-node network must have sleepers by t=200"
+    packet = Packet(kind="PROBE", sender=sleeper.node_id)
+    with pytest.raises(InvariantViolation, match="not radio-active"):
+        network.channel.transmit(
+            sleeper.node_id, packet, network.config.probe_range_m
+        )
+
+
+def test_periodic_sweep_catches_corruption_mid_run():
+    # Corrupt a battery from inside the simulation: the next periodic sweep
+    # (every DEFAULT_SWEEP_PERIOD events) must trip without an explicit call.
+    sim, network = make_network(num_nodes=25)
+    sanitizer = SimSanitizer(sweep_period=16)
+    sanitizer.install(sim)
+    sanitizer.attach_network(network)
+    network.start()
+
+    def corrupt():
+        node = next(iter(network.nodes.values()))
+        node.battery._remaining = -5.0
+
+    sim.schedule(100.0, corrupt)
+    with pytest.raises(InvariantViolation, match="negative"):
+        sim.run(until=400.0)
