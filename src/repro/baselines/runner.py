@@ -1,30 +1,32 @@
 """Run a baseline protocol under the same scenario/metrics as PEAS.
 
-Reuses the deployment, coverage tracker, GRAB routing, failure injection
-and result containers of :mod:`repro.experiments`, swapping only the
-protocol: this is what makes the PEAS-vs-baseline benches a controlled
-comparison.
+:func:`run_baseline` is a thin wrapper over the shared run harness
+(:mod:`repro.harness`): the deployment, coverage tracker, GRAB routing,
+failure injection, result containers *and* the full capability stack
+(tracing, profiling, sanitizing, manifests) are the identical code path
+PEAS runs on — only the protocol adapter differs.  This is what makes the
+PEAS-vs-baseline benches a controlled comparison.
+
+:data:`BASELINE_FACTORIES` remains the canonical name -> factory table;
+:mod:`repro.protocols` registers each entry so ``Scenario.protocol`` can
+name a baseline directly and sweeps can cross protocols.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
-from ..coverage import CoverageGrid, CoverageTracker
-from ..experiments.metrics import RunResult
-from ..experiments.scenario import Scenario
-from ..failures import FailureInjector, per_5000s
-from ..net import DEPLOYMENTS, Field, NeighborCache, SpatialGrid
-from ..routing import GrabRouter, ReportTraffic, WorkingTopology
-from ..sim import RngRegistry, Simulator
 from .afeca import AfecaLikeProtocol
 from .always_on import AlwaysOnProtocol
-from .base import BaselineNetwork
 from .duty_cycle import DutyCycleProtocol
 from .gaf import GafLikeProtocol
-from .gaps import CellGapMonitor
 from .span import SpanLikeProtocol
 from .synchronized import SynchronizedSleepProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.metrics import RunResult
+    from ..experiments.scenario import Scenario
+    from ..obs.tracer import Tracer
 
 __all__ = ["run_baseline", "BASELINE_FACTORIES"]
 
@@ -46,124 +48,37 @@ BASELINE_FACTORIES = {
 
 
 def run_baseline(
-    scenario: Scenario,
+    scenario: "Scenario",
     protocol: str = "always_on",
     protocol_factory: Optional[Callable] = None,
     measure_gaps: bool = False,
-) -> RunResult:
+    *,
+    tracer: Optional["Tracer"] = None,
+    profile: bool = False,
+    sanitize: bool = False,
+) -> "RunResult":
     """Run a baseline protocol over the scenario's deployment.
 
     ``protocol`` picks a stock baseline; ``protocol_factory(network, rngs)``
     overrides it for custom-parameterized instances.  With ``measure_gaps``
     the Figure 4/5 replacement-gap statistics land in ``result.extras``.
+    ``tracer``/``profile``/``sanitize`` attach the same capability stack as
+    :func:`~repro.experiments.runner.run_scenario` — one harness runs both.
     """
-    sim = Simulator()
-    rngs = RngRegistry(seed=scenario.seed)
-    field = Field(*scenario.field_size)
-    positions = DEPLOYMENTS[scenario.deployment](
-        field, scenario.num_nodes, rngs.stream("deployment")
-    )
-    network = BaselineNetwork(
-        sim, field, positions, profile=scenario.profile,
-        battery_rng=rngs.stream("battery"),
-    )
-    factory = protocol_factory or BASELINE_FACTORIES[protocol]
-    proto = factory(network, rngs)
+    from ..harness import RunOptions, run
 
-    grid = CoverageGrid(
-        field,
-        sensing_range=scenario.sensing_range_m,
-        resolution=scenario.coverage_resolution_m,
-        max_k=max(scenario.coverage_ks) + 1,
+    if measure_gaps and not scenario.measure_gaps:
+        scenario = scenario.with_(measure_gaps=True)
+    if protocol_factory is None:
+        if protocol not in BASELINE_FACTORIES:
+            raise KeyError(
+                f"unknown baseline {protocol!r}; "
+                f"choose from {sorted(BASELINE_FACTORIES)}"
+            )
+        scenario = scenario.with_(protocol=protocol)
+    return run(
+        scenario,
+        RunOptions(profile=profile, sanitize=sanitize),
+        tracer=tracer,
+        protocol_factory=protocol_factory,
     )
-    tracker = CoverageTracker(
-        sim,
-        grid,
-        ks=scenario.coverage_ks,
-        sample_interval_s=scenario.sample_interval_s,
-        threshold=scenario.lifetime_threshold,
-    )
-    network.working_observers.append(tracker.on_working_change)
-    gap_monitor = None
-    if measure_gaps:
-        gap_monitor = CellGapMonitor(
-            sim, field, cell_size_m=scenario.config.probe_range_m
-        )
-        network.working_observers.append(gap_monitor.on_working_change)
-
-    traffic = None
-    if scenario.with_traffic:
-        spatial = SpatialGrid(field, cell_size=scenario.config.probe_range_m)
-        cache = NeighborCache(spatial)
-        spatial.bulk_insert((i, p) for i, p in enumerate(positions))
-        topology = WorkingTopology(
-            spatial, comm_range=scenario.comm_range_m, neighbors=cache
-        )
-
-        def topology_observer(time, node, started, _topology=topology):
-            if started:
-                _topology.add_working(node.node_id, node.position)
-            else:
-                _topology.remove_working(node.node_id)
-
-        network.working_observers.append(topology_observer)
-        router = GrabRouter(
-            topology,
-            source=scenario.source,
-            sink=scenario.sink,
-            attach_radius=scenario.comm_range_m,
-            link_loss=scenario.grab_link_loss,
-            mesh_width=scenario.grab_mesh_width,
-            rng=rngs.stream("grab"),
-        )
-        traffic = ReportTraffic(
-            sim, router,
-            interval_s=scenario.report_interval_s,
-            threshold=scenario.lifetime_threshold,
-        )
-
-    injector = FailureInjector(
-        sim,
-        rate_hz=per_5000s(scenario.failure_per_5000s),
-        alive_provider=network.alive_ids,
-        kill=network.kill,
-        rng=rngs.stream("failures"),
-    )
-
-    network.start()
-    proto.start()
-    tracker.start()
-    if traffic is not None:
-        traffic.start()
-    injector.start()
-    while not network.all_dead and sim.now < scenario.max_time_s:
-        sim.run(until=sim.now + scenario.run_chunk_s)
-    tracker.stop()
-    if traffic is not None:
-        traffic.stop()
-
-    energy = network.energy_report()
-    overhead = sum(
-        joules
-        for category, joules in energy.by_category.items()
-        if category == "election"
-    )
-    result = RunResult(
-        num_nodes=scenario.num_nodes,
-        seed=scenario.seed,
-        failure_rate_per_5000s=scenario.failure_per_5000s,
-        end_time=sim.now,
-        coverage_lifetimes=tracker.lifetimes(),
-        delivery_lifetime=traffic.delivery_lifetime() if traffic else None,
-        total_wakeups=0,
-        energy_total_j=energy.total_consumed_j,
-        energy_overhead_j=overhead,
-        failures_injected=injector.failures_injected,
-        counters=network.counters.as_dict(),
-    )
-    if gap_monitor is not None:
-        result.extras["gap_count"] = float(gap_monitor.gap_count())
-        result.extras["gap_mean_s"] = gap_monitor.mean_gap()
-        result.extras["gap_max_s"] = gap_monitor.max_gap()
-        result.extras["gap_p95_s"] = gap_monitor.percentile_gap(0.95)
-    return result

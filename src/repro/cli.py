@@ -3,10 +3,12 @@
 Commands mirror the paper's evaluation artifacts::
 
     peas-repro run --nodes 320 --seed 1          # one scenario, full metrics
+    peas-repro run --protocol duty_cycle          # any registered protocol
     peas-repro fig9                               # coverage lifetime vs N
     peas-repro fig10 / fig11 / table1             # delivery / wakeups / energy
     peas-repro fig12 / fig13 / fig14              # failure-rate sweeps
-    peas-repro baselines --nodes 320              # PEAS vs baseline protocols
+    peas-repro baselines --nodes 320 --seeds 3    # PEAS vs baseline protocols
+    peas-repro baselines --protocol gaf --protocol peas   # subset comparison
     peas-repro connectivity                       # Theorem 3.1 sweep
     peas-repro estimator                          # §2.2.1 accuracy study
 
@@ -26,7 +28,6 @@ from .analysis import (
     relative_error_quantile,
     simulate_estimator_errors,
 )
-from .baselines import BASELINE_FACTORIES, run_baseline
 from .experiments import (
     Scenario,
     fig9_rows,
@@ -38,10 +39,12 @@ from .experiments import (
     format_table,
     get_deployment_results,
     get_failure_results,
+    group_by,
     run_scenario,
     table1_rows,
 )
 from .net import Field
+from .protocols import protocol_names
 from .sim import RngRegistry
 
 __all__ = ["main"]
@@ -55,6 +58,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     scenario = Scenario(
         num_nodes=args.nodes,
         seed=args.seed,
+        protocol=args.protocol,
         failure_per_5000s=args.failure_rate,
         with_traffic=not args.no_traffic,
         measure_gaps=True,
@@ -167,21 +171,40 @@ def _cmd_failure_artifact(name: str) -> None:
 
 
 def _cmd_baselines(args: argparse.Namespace) -> None:
-    scenario = Scenario(
+    from .experiments import (
+        aggregate_values,
+        bench_processes,
+        expand_protocols,
+        expand_seeds,
+        run_sweep,
+    )
+
+    protocols = args.protocol or protocol_names()
+    base = Scenario(
         num_nodes=args.nodes, seed=args.seed, with_traffic=False, measure_gaps=True
     )
+    seeds = [args.seed + i for i in range(args.seeds)]
+    scenarios = expand_seeds(expand_protocols([base], protocols), seeds)
+    results = run_sweep(scenarios, processes=bench_processes())
+    by_protocol = group_by(results, lambda r: r.manifest.get("protocol"))
+
+    def _cell(stats, spec=".0f"):
+        return format(stats, spec) if stats is not None else "-"
+
     rows = []
-    peas = run_scenario(scenario)
-    rows.append(["PEAS", peas.coverage_lifetimes.get(4), peas.end_time,
-                 f"{peas.extras['gap_mean_s']:.0f}", f"{peas.extras['gap_p95_s']:.0f}"])
-    for name in sorted(BASELINE_FACTORIES):
-        result = run_baseline(scenario, protocol=name, measure_gaps=True)
-        rows.append([name, result.coverage_lifetimes.get(4), result.end_time,
-                     f"{result.extras['gap_mean_s']:.0f}",
-                     f"{result.extras['gap_p95_s']:.0f}"])
+    for name in protocols:
+        runs = by_protocol.get(name, [])
+        rows.append([
+            name,
+            _cell(aggregate_values([r.coverage_lifetimes.get(4) for r in runs])),
+            _cell(aggregate_values([r.end_time for r in runs])),
+            _cell(aggregate_values([r.extras.get("gap_mean_s") for r in runs])),
+            _cell(aggregate_values([r.extras.get("gap_p95_s") for r in runs])),
+        ])
     print(format_table(
         ["protocol", "4-cov lifetime (s)", "end (s)", "mean gap (s)", "p95 gap (s)"],
-        rows, title=f"PEAS vs baselines (N={args.nodes})"))
+        rows,
+        title=f"PEAS vs baselines (N={args.nodes}, {len(seeds)} seed(s))"))
 
 
 def _cmd_connectivity(args: argparse.Namespace) -> None:
@@ -240,6 +263,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one scenario and print metrics")
     run_p.add_argument("--nodes", type=int, default=160)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--protocol", choices=protocol_names(), default="peas",
+                       help="registered protocol to run the scenario under")
     run_p.add_argument("--failure-rate", type=float, default=10.66,
                        help="failures per 5000 s")
     run_p.add_argument("--no-traffic", action="store_true")
@@ -270,6 +295,13 @@ def build_parser() -> argparse.ArgumentParser:
     base_p = sub.add_parser("baselines", help="PEAS vs baseline protocols")
     base_p.add_argument("--nodes", type=int, default=320)
     base_p.add_argument("--seed", type=int, default=0)
+    base_p.add_argument("--protocol", action="append", choices=protocol_names(),
+                        metavar="NAME", default=None,
+                        help="restrict the comparison to this protocol "
+                             "(repeatable; default: all registered)")
+    base_p.add_argument("--seeds", type=int, default=1,
+                        help="seeds per protocol, averaged like the paper's "
+                             "5-run points (default 1)")
 
     conn_p = sub.add_parser("connectivity", help="Theorem 3.1 range sweep")
     conn_p.add_argument("--side", type=float, default=50.0)

@@ -21,9 +21,16 @@ from .paper import (
 )
 from .report import render_report, sparkline, timeline_chart
 from .runner import build_network, run_scenario
-from .serialize import load_results, result_from_dict, result_to_dict, save_results
+from .serialize import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+    scenario_from_dict,
+    scenario_to_dict,
+)
 from .scenario import Scenario
-from .sweep import expand_seeds, group_by, run_sweep
+from .sweep import expand_protocols, expand_seeds, group_by, run_sweep
 from .tables import fmt, format_series, format_table
 
 __all__ = [
@@ -35,6 +42,7 @@ __all__ = [
     "aggregate_values",
     "aggregate_lifetimes",
     "expand_seeds",
+    "expand_protocols",
     "run_sweep",
     "group_by",
     "format_table",
@@ -45,6 +53,8 @@ __all__ = [
     "timeline_chart",
     "result_to_dict",
     "result_from_dict",
+    "scenario_to_dict",
+    "scenario_from_dict",
     "save_results",
     "load_results",
     "DEPLOYMENT_NUMBERS",

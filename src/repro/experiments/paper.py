@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..harness import RunOptions
 from .metrics import MeanStd, RunResult, aggregate_values
 from .scenario import Scenario
 from .sweep import expand_seeds, group_by, run_sweep
@@ -105,30 +106,40 @@ _memo: Dict[Tuple, Dict[object, List[RunResult]]] = {}
 
 
 def get_deployment_results(
-    seeds: Optional[Sequence[int]] = None, processes: Optional[int] = None
+    seeds: Optional[Sequence[int]] = None,
+    processes: Optional[int] = None,
+    options: Optional[RunOptions] = None,
 ) -> Dict[int, List[RunResult]]:
-    """Deployment-sweep results grouped by population."""
+    """Deployment-sweep results grouped by population.
+
+    ``options`` applies one capability stack (sanitize / trace-to-path) to
+    every run in the sweep, pooled or serial.
+    """
     seeds = tuple(seeds if seeds is not None else bench_seeds())
-    key = ("deployment", seeds)
+    key = ("deployment", seeds, options)
     if key not in _memo:
         results = run_sweep(
             deployment_scenarios(seeds),
             processes=processes if processes is not None else bench_processes(),
+            options=options,
         )
         _memo[key] = group_by(results, lambda r: r.num_nodes)
     return _memo[key]  # type: ignore[return-value]
 
 
 def get_failure_results(
-    seeds: Optional[Sequence[int]] = None, processes: Optional[int] = None
+    seeds: Optional[Sequence[int]] = None,
+    processes: Optional[int] = None,
+    options: Optional[RunOptions] = None,
 ) -> Dict[float, List[RunResult]]:
     """Failure-sweep results grouped by failure rate."""
     seeds = tuple(seeds if seeds is not None else bench_seeds())
-    key = ("failure", seeds)
+    key = ("failure", seeds, options)
     if key not in _memo:
         results = run_sweep(
             failure_scenarios(seeds),
             processes=processes if processes is not None else bench_processes(),
+            options=options,
         )
         _memo[key] = group_by(results, lambda r: r.failure_rate_per_5000s)
     return _memo[key]  # type: ignore[return-value]

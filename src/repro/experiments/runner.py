@@ -1,63 +1,26 @@
-"""Assemble and execute one scenario end-to-end.
+"""Run one scenario end-to-end (thin wrapper over :mod:`repro.harness`).
 
-:func:`run_scenario` wires together every subsystem — deployment, channel,
-PEAS network, failure injector, coverage tracker, GRAB traffic — runs the
-simulation until the whole population is dead (the paper simulates "for a
-sufficiently long period of time until all nodes die", §5.2), and returns a
-:class:`~repro.experiments.metrics.RunResult`.
+Historically this module assembled the whole substrate itself; that logic
+now lives in :func:`repro.harness.runner.run`, shared verbatim with the
+baseline runner and the sweep pool, so every protocol executes under one
+harness.  :func:`run_scenario` keeps the stable public signature, and
+honors ``scenario.protocol`` — by default PEAS, but any registered
+protocol runs through the same call.
+
+``build_network`` moved to :mod:`repro.protocols.peas`; it is re-exported
+here for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
-from ..core import PEASNetwork
-from ..coverage import CoverageGrid, CoverageTracker
-from ..failures import FailureInjector, per_5000s
-from ..net import PACKET_SIZE_BYTES, DEPLOYMENTS, Field, RadioModel
-from ..net.mac import window_layout
-from ..obs import build_manifest
 from ..obs.tracer import Tracer
-from ..routing import GrabRouter, ReportTraffic, WorkingTopology
-from ..sim import EngineProfiler, RngRegistry, SimSanitizer, Simulator
+from ..protocols.peas import build_network
 from .metrics import RunResult
 from .scenario import Scenario
 
 __all__ = ["run_scenario", "build_network"]
-
-
-def build_network(
-    scenario: Scenario,
-    sim: Simulator,
-    rngs: RngRegistry,
-    tracer: Optional[Tracer] = None,
-) -> PEASNetwork:
-    """Construct the deployed PEAS network for a scenario (no metrics wiring)."""
-    field = Field(*scenario.field_size)
-    deploy = DEPLOYMENTS[scenario.deployment]
-    positions = deploy(field, scenario.num_nodes, rngs.stream("deployment"))
-    radio = RadioModel(
-        bitrate_bps=scenario.bitrate_bps,
-        max_range_m=scenario.comm_range_m,
-        irregularity=scenario.rssi_irregularity,
-    )
-    # With traffic enabled, the source and sink stations participate as
-    # anchored permanent workers (they are nodes of the network, §5.2);
-    # their REPLYs keep nearby sleepers in reserve for later generations.
-    anchors = (scenario.source, scenario.sink) if scenario.with_traffic else ()
-    return PEASNetwork(
-        sim,
-        field,
-        positions,
-        scenario.config,
-        rngs,
-        radio=radio,
-        profile=scenario.profile,
-        loss_rate=scenario.loss_rate,
-        anchors=anchors,
-        tracer=tracer,
-    )
 
 
 def run_scenario(
@@ -72,7 +35,8 @@ def run_scenario(
     Parameters
     ----------
     scenario:
-        What to simulate.
+        What to simulate; ``scenario.protocol`` picks the registered
+        protocol (default PEAS).
     tracer:
         Optional :class:`repro.obs.Tracer`; when given (and not null-sink
         backed) every subsystem emits structured trace events through it.
@@ -88,183 +52,10 @@ def run_scenario(
         failure.  Off by default; results are bit-identical either way —
         the checks are read-only.
     """
-    wall_start = time.perf_counter()
-    sim = Simulator()
-    rngs = RngRegistry(seed=scenario.seed)
-    sanitizer: Optional[SimSanitizer] = None
-    if sanitize:
-        sanitizer = SimSanitizer()
-        sanitizer.install(sim)
-    network = build_network(scenario, sim, rngs, tracer=tracer)
-    if sanitizer is not None:
-        sanitizer.attach_network(network)
-    field = network.field
-    profiler: Optional[EngineProfiler] = None
-    if profile:
-        profiler = EngineProfiler()
-        sim.profiler = profiler
+    from ..harness import RunOptions, run
 
-    # --- coverage metric -------------------------------------------------
-    grid = CoverageGrid(
-        field,
-        sensing_range=scenario.sensing_range_m,
-        resolution=scenario.coverage_resolution_m,
-        max_k=max(scenario.coverage_ks) + 1,
-    )
-    tracker = CoverageTracker(
-        sim,
-        grid,
-        ks=scenario.coverage_ks,
-        sample_interval_s=scenario.sample_interval_s,
-        threshold=scenario.lifetime_threshold,
-    )
-    network.working_observers.append(tracker.on_working_change)
-
-    # --- replacement gaps (Fig 4/5 metric) --------------------------------
-    gap_monitor = None
-    if scenario.measure_gaps:
-        from ..baselines.gaps import CellGapMonitor
-
-        gap_monitor = CellGapMonitor(
-            sim, field, cell_size_m=scenario.config.probe_range_m
-        )
-        network.working_observers.append(gap_monitor.on_working_change)
-
-    # --- data delivery metric --------------------------------------------
-    traffic = None
-    if scenario.with_traffic:
-        topology = WorkingTopology(
-            network.grid,
-            comm_range=scenario.comm_range_m,
-            neighbors=network.neighbors,
-        )
-
-        def topology_observer(time, node, started, _topology=topology):
-            if started:
-                _topology.add_working(node.node_id, node.position)
-            else:
-                _topology.remove_working(node.node_id)
-
-        network.working_observers.append(topology_observer)
-        router = GrabRouter(
-            topology,
-            source=scenario.source,
-            sink=scenario.sink,
-            attach_radius=scenario.comm_range_m,
-            link_loss=scenario.grab_link_loss,
-            mesh_width=scenario.grab_mesh_width,
-            rng=rngs.stream("grab"),
-        )
-        path_hook = None
-        if scenario.charge_data_energy:
-            airtime = network.radio.airtime(scenario.report_size_bytes)
-
-            def path_hook(path, _network=network, _airtime=airtime):
-                # Each hop: the forwarder transmits, the next node receives.
-                # Anchors are externally powered; skip their batteries.
-                now = _network.sim.now
-                for sender, receiver in zip(path, path[1:] + [None]):
-                    node = _network.nodes[sender]
-                    if not node.anchor and node.alive:
-                        node.battery.charge_frame(now, "tx", _airtime, "data_tx")
-                        node.on_energy_charged()
-                    if receiver is None:
-                        continue
-                    peer = _network.nodes[receiver]
-                    if not peer.anchor and peer.alive:
-                        peer.battery.charge_frame(now, "rx", _airtime, "data_rx")
-                        peer.on_energy_charged()
-
-        traffic = ReportTraffic(
-            sim,
-            router,
-            interval_s=scenario.report_interval_s,
-            threshold=scenario.lifetime_threshold,
-            path_hook=path_hook,
-        )
-
-    # --- failure injection -------------------------------------------------
-    injector = FailureInjector(
-        sim,
-        rate_hz=per_5000s(scenario.failure_per_5000s),
-        alive_provider=network.alive_ids,
-        kill=network.kill,
-        rng=rngs.stream("failures"),
+    return run(
+        scenario,
+        RunOptions(profile=profile, sanitize=sanitize),
         tracer=tracer,
     )
-
-    # --- run ----------------------------------------------------------------
-    network.start()
-    tracker.start()
-    if traffic is not None:
-        traffic.start()
-    injector.start()
-    while not network.all_dead and sim.now < scenario.max_time_s:
-        sim.run(until=sim.now + scenario.run_chunk_s)
-    tracker.stop()
-    if traffic is not None:
-        traffic.stop()
-
-    # --- collect --------------------------------------------------------------
-    energy = network.energy_report()
-    result = RunResult(
-        num_nodes=scenario.num_nodes,
-        seed=scenario.seed,
-        failure_rate_per_5000s=scenario.failure_per_5000s,
-        end_time=sim.now,
-        coverage_lifetimes=tracker.lifetimes(),
-        delivery_lifetime=traffic.delivery_lifetime() if traffic else None,
-        total_wakeups=network.counters.get("wakeups"),
-        energy_total_j=energy.total_consumed_j,
-        energy_overhead_j=energy.overhead_j,
-        energy_by_category=dict(energy.by_category),
-        failures_injected=injector.failures_injected,
-        counters=network.counters.as_dict(),
-        channel_counters=network.channel.counters.as_dict(),
-    )
-    if scenario.keep_series:
-        for name in tracker.series.names():
-            result.series[name] = tracker.series.samples(name)
-        if traffic is not None:
-            for name in traffic.series.names():
-                result.series[name] = traffic.series.samples(name)
-    if gap_monitor is not None:
-        result.extras["gap_count"] = float(gap_monitor.gap_count())
-        result.extras["gap_mean_s"] = gap_monitor.mean_gap()
-        result.extras["gap_max_s"] = gap_monitor.max_gap()
-        result.extras["gap_p95_s"] = gap_monitor.percentile_gap(0.95)
-    if sanitizer is not None:
-        # Final sweep so end-of-run state is checked even when the last
-        # sweep period did not elapse, then report what ran.
-        sanitizer.sweep(sim.now)
-        result.extras["sanitizer_checks"] = float(sanitizer.total_checks)
-    if profiler is not None:
-        sim.profiler = None
-        result.profile = profiler.as_dict()
-
-    # --- provenance -----------------------------------------------------------
-    trace_info = None
-    if tracer is not None:
-        trace_info = tracer.stats()
-        path = getattr(tracer.sink, "path", None)
-        if path is not None:
-            trace_info["path"] = str(path)
-    airtime = network.radio.airtime(PACKET_SIZE_BYTES)
-    config = scenario.config
-    result.manifest = build_manifest(
-        seed=scenario.seed,
-        config=scenario,
-        rng_streams=tuple(rngs.names()),
-        wall_time_s=time.perf_counter() - wall_start,
-        events_executed=sim.events_executed,
-        sim_end_time_s=sim.now,
-        trace=trace_info,
-        mac=window_layout(
-            config.num_probes,
-            airtime,
-            config.probe_gap_s,
-            config.probe_window_s,
-            config.reply_guard_s,
-        ),
-    )
-    return result

@@ -34,6 +34,10 @@ class Scenario:
     seed: int = 0
     field_size: Tuple[float, float] = (50.0, 50.0)
     deployment: str = "uniform"
+    #: Which registered protocol runs this scenario (see
+    #: :mod:`repro.protocols`): ``"peas"`` or any baseline name, so sweeps
+    #: can cross protocols like any other parameter.
+    protocol: str = "peas"
     config: PEASConfig = field(default_factory=PEASConfig)
     profile: PowerProfile = MOTE_PROFILE
 
@@ -80,6 +84,15 @@ class Scenario:
             raise ValueError(
                 f"unknown deployment {self.deployment!r}; "
                 f"choose from {sorted(DEPLOYMENTS)}"
+            )
+        # Imported lazily: the registry pulls in the protocol packages,
+        # which must not load as a side effect of defining a scenario type.
+        from ..protocols import PROTOCOLS
+
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {sorted(PROTOCOLS)}"
             )
         if self.field_size[0] <= 0 or self.field_size[1] <= 0:
             raise ValueError("field dimensions must be positive")

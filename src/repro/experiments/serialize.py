@@ -1,8 +1,10 @@
-"""JSON (de)serialization of run results.
+"""JSON (de)serialization of run results and scenarios.
 
 Sweeps are expensive; persisting their results lets analyses and reports
 run without re-simulating.  ``RunResult`` round-trips losslessly through
-plain JSON-compatible dictionaries (series included).
+plain JSON-compatible dictionaries (series included), and ``Scenario``
+round-trips too — protocol name included — so saved sweep outputs record
+exactly what produced them.
 
 >>> payload = result_to_dict(result)          # doctest: +SKIP
 >>> json.dump(payload, open("run.json", "w")) # doctest: +SKIP
@@ -11,20 +13,28 @@ plain JSON-compatible dictionaries (series included).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Union
 
+from ..core import PEASConfig
+from ..energy import PowerProfile
 from .metrics import RunResult
+from .scenario import Scenario
 
 __all__ = [
     "result_to_dict",
     "result_from_dict",
+    "scenario_to_dict",
+    "scenario_from_dict",
     "save_results",
     "load_results",
 ]
 
 _SCHEMA_VERSION = 1
+
+_SCENARIO_SCHEMA = "peas-scenario/1"
 
 
 def result_to_dict(result: RunResult) -> Dict:
@@ -86,6 +96,34 @@ def result_from_dict(payload: Dict) -> RunResult:
         manifest=dict(payload.get("manifest", {})),
         profile=payload.get("profile"),
     )
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict:
+    """A JSON-compatible dictionary capturing a scenario's full
+    parameterization, protocol name included."""
+    payload: Dict = {"schema": _SCENARIO_SCHEMA}
+    for spec in dataclasses.fields(Scenario):
+        value = getattr(scenario, spec.name)
+        if spec.name in ("config", "profile"):
+            value = dataclasses.asdict(value)
+        elif isinstance(value, tuple):
+            value = list(value)
+        payload[spec.name] = value
+    return payload
+
+
+def scenario_from_dict(payload: Dict) -> Scenario:
+    """Inverse of :func:`scenario_to_dict` (validates the schema marker)."""
+    schema = payload.get("schema")
+    if schema != _SCENARIO_SCHEMA:
+        raise ValueError(f"unsupported scenario schema {schema!r}")
+    known = {spec.name for spec in dataclasses.fields(Scenario)}
+    kwargs = {k: v for k, v in payload.items() if k in known}
+    kwargs["config"] = PEASConfig(**kwargs["config"])
+    kwargs["profile"] = PowerProfile(**kwargs["profile"])
+    kwargs["field_size"] = tuple(kwargs["field_size"])
+    kwargs["coverage_ks"] = tuple(kwargs["coverage_ks"])
+    return Scenario(**kwargs)
 
 
 def save_results(results: Iterable[RunResult], path: Union[str, Path]) -> None:

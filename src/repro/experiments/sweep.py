@@ -2,20 +2,26 @@
 
 The paper averages every data point over 5 simulation runs (§5.2).  A sweep
 here is a list of scenarios (typically one base scenario crossed with a
-parameter list and a seed range); results can be computed serially or on a
-process pool (each run is independent and seeded deterministically).
+parameter list, a protocol list and a seed range); results can be computed
+serially or on a process pool (each run is independent and seeded
+deterministically).  Because a :class:`~repro.experiments.scenario.Scenario`
+names its protocol and a :class:`~repro.harness.RunOptions` is picklable,
+pooled runs execute the identical harness code path as serial ones —
+capabilities included.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..harness import RunOptions
+from ..harness.runner import run as _run_one
 from .metrics import RunResult
-from .runner import run_scenario
 from .scenario import Scenario
 
-__all__ = ["expand_seeds", "run_sweep", "group_by"]
+__all__ = ["expand_seeds", "expand_protocols", "run_sweep", "group_by"]
 
 
 def expand_seeds(scenarios: Iterable[Scenario], seeds: Sequence[int]) -> List[Scenario]:
@@ -23,18 +29,54 @@ def expand_seeds(scenarios: Iterable[Scenario], seeds: Sequence[int]) -> List[Sc
     return [scenario.with_(seed=seed) for scenario in scenarios for seed in seeds]
 
 
+def expand_protocols(
+    scenarios: Iterable[Scenario], protocols: Sequence[str]
+) -> List[Scenario]:
+    """Cross a scenario list with a protocol list (registry names)."""
+    return [
+        scenario.with_(protocol=protocol)
+        for scenario in scenarios
+        for protocol in protocols
+    ]
+
+
+def _default_chunksize(num_scenarios: int, processes: int) -> int:
+    """Batch pool work items explicitly instead of ``pool.map``'s default.
+
+    Individual runs are seconds-long, so per-item dispatch overhead is
+    negligible — but run times are *heterogeneous* (populations and
+    protocols differ wildly), so large chunks cause stragglers.  Aim for
+    ~4 chunks per worker to balance, with chunk size 1 as the floor.
+    """
+    return max(1, num_scenarios // (processes * 4))
+
+
 def run_sweep(
-    scenarios: Sequence[Scenario], processes: Optional[int] = None
+    scenarios: Sequence[Scenario],
+    processes: Optional[int] = None,
+    options: Optional[RunOptions] = None,
+    chunksize: Optional[int] = None,
 ) -> List[RunResult]:
     """Run every scenario; ``processes`` > 1 uses a process pool.
 
     Results are returned in the order of the input scenarios either way, so
-    downstream grouping is deterministic.
+    downstream grouping is deterministic.  ``options`` applies the same
+    capability stack (profile / sanitize / trace-to-path) to every run,
+    pooled or serial; ``chunksize`` overrides the per-worker batching.
     """
+    options = options if options is not None else RunOptions()
     if processes is not None and processes > 1:
+        if chunksize is None:
+            chunksize = _default_chunksize(len(scenarios), processes)
         with ProcessPoolExecutor(max_workers=processes) as pool:
-            return list(pool.map(run_scenario, scenarios))
-    return [run_scenario(scenario) for scenario in scenarios]
+            return list(
+                pool.map(
+                    partial(_run_one, options=options),
+                    scenarios,
+                    chunksize=chunksize,
+                )
+            )
+    return [_run_one(scenario, options) for scenario in scenarios]
 
 
 def group_by(

@@ -1,0 +1,12 @@
+"""One run harness for every protocol (PEAS, baselines, sweeps).
+
+:func:`~repro.harness.runner.run` composes the shared simulation substrate
+and capability stack around whichever registered protocol a scenario
+names; :class:`~repro.harness.options.RunOptions` is the picklable bundle
+of capability switches that pooled sweeps ship to workers.
+"""
+
+from .options import RunOptions
+from .runner import run
+
+__all__ = ["RunOptions", "run"]

@@ -1,0 +1,59 @@
+"""Per-run capability options, picklable for process-pool sweeps.
+
+:class:`RunOptions` carries everything about *how* to execute a run that is
+not part of the scenario itself: the observability and checking stack.
+Unlike a live :class:`~repro.obs.tracer.Tracer` (which owns an open sink),
+``RunOptions`` is a frozen value object of primitives, so ``run_sweep`` can
+ship one to pool workers and every pooled run gets the same capability
+stack as a local one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.scenario import Scenario
+
+__all__ = ["RunOptions"]
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How to run a scenario: the capability stack, as a picklable value.
+
+    Parameters
+    ----------
+    profile:
+        Attach an :class:`~repro.sim.EngineProfiler` and store its
+        breakdown on ``result.profile``.
+    sanitize:
+        Attach a :class:`~repro.sim.SimSanitizer` (read-only invariant
+        checks; results are bit-identical either way).
+    trace_path:
+        When set (and no live tracer is passed), the harness opens an
+        NDJSON sink at this path, streams ``peas-trace/1`` events to it,
+        closes it at the end of the run, and writes a ``peas-manifest/1``
+        file next to it.  ``{seed}``, ``{nodes}`` and ``{protocol}``
+        placeholders are substituted per scenario, so one template fans
+        out to distinct files across a sweep.
+    """
+
+    profile: bool = False
+    sanitize: bool = False
+    trace_path: Optional[str] = None
+
+    def with_(self, **changes: Any) -> "RunOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def resolved_trace_path(self, scenario: "Scenario") -> Optional[str]:
+        """The per-scenario trace file for this run (``None``: no tracing)."""
+        if self.trace_path is None:
+            return None
+        return self.trace_path.format(
+            seed=scenario.seed,
+            nodes=scenario.num_nodes,
+            protocol=scenario.protocol,
+        )

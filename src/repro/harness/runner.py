@@ -1,0 +1,255 @@
+"""The single composition layer every protocol runs under.
+
+:func:`run` assembles the full §5 substrate — deployment, coverage tracker,
+replacement-gap monitor, GRAB traffic, failure injector — and the complete
+capability stack (tracer, profiler, sanitizer, manifest) exactly once,
+around whichever protocol ``scenario.protocol`` names in the registry
+(:mod:`repro.protocols`).  ``repro.experiments.runner.run_scenario`` and
+``repro.baselines.runner.run_baseline`` are thin wrappers over this
+function, so PEAS-vs-baseline comparisons are controlled by construction:
+divergent harnesses, not divergent protocols, are how power-aware protocol
+comparisons usually die.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..baselines.gaps import CellGapMonitor
+from ..coverage import CoverageGrid, CoverageTracker
+from ..experiments.metrics import RunResult
+from ..experiments.scenario import Scenario
+from ..failures import FailureInjector, per_5000s
+from ..obs import build_manifest
+from ..obs.tracer import Tracer
+from ..protocols import BaselineRun, ProtocolRun, get_protocol
+from ..routing import GrabRouter, ReportTraffic
+from ..sim import EngineProfiler, RngRegistry, SimSanitizer, Simulator
+from .options import RunOptions
+
+__all__ = ["run"]
+
+
+def run(
+    scenario: Scenario,
+    options: Optional[RunOptions] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    protocol_factory: Optional[Callable] = None,
+) -> RunResult:
+    """Run one scenario under its protocol to completion; collect §5 metrics.
+
+    Parameters
+    ----------
+    scenario:
+        What to simulate, including which registered protocol runs it
+        (``scenario.protocol``, default ``"peas"``).
+    options:
+        The capability stack (profile / sanitize / trace-to-path); see
+        :class:`~repro.harness.options.RunOptions`.
+    tracer:
+        Optional live :class:`repro.obs.Tracer`; when given (and not
+        null-sink backed) every subsystem emits structured trace events
+        through it.  The caller owns the sink.  Mutually exclusive with
+        ``options.trace_path``, which makes the harness own a file sink.
+    protocol_factory:
+        Escape hatch for custom-parameterized baselines: a
+        ``factory(network, rngs)`` run on a
+        :class:`~repro.baselines.base.BaselineNetwork` instead of the
+        registry entry for ``scenario.protocol``.
+    """
+    options = options if options is not None else RunOptions()
+    owned_tracer: Optional[Tracer] = None
+    trace_file = None
+    if tracer is None:
+        trace_target = options.resolved_trace_path(scenario)
+        if trace_target is not None:
+            from ..obs import NdjsonSink
+
+            trace_file = trace_target
+            owned_tracer = Tracer(NdjsonSink(trace_target))
+            tracer = owned_tracer
+    try:
+        result = _run(scenario, options, tracer, protocol_factory)
+    finally:
+        if owned_tracer is not None:
+            owned_tracer.close()
+    if trace_file is not None:
+        from pathlib import Path
+
+        from ..obs import save_manifest
+
+        path = Path(trace_file)
+        save_manifest(result.manifest, path.parent / (path.stem + ".manifest.json"))
+    return result
+
+
+def _build_protocol(
+    scenario: Scenario,
+    sim: Simulator,
+    rngs: RngRegistry,
+    tracer: Optional[Tracer],
+    protocol_factory: Optional[Callable],
+) -> ProtocolRun:
+    if protocol_factory is not None:
+        return BaselineRun(
+            scenario, sim, rngs, factory=protocol_factory, tracer=tracer
+        )
+    return get_protocol(scenario.protocol).build(scenario, sim, rngs, tracer)
+
+
+def _run(
+    scenario: Scenario,
+    options: RunOptions,
+    tracer: Optional[Tracer],
+    protocol_factory: Optional[Callable],
+) -> RunResult:
+    wall_start = time.perf_counter()
+    sim = Simulator()
+    rngs = RngRegistry(seed=scenario.seed)
+    sanitizer: Optional[SimSanitizer] = None
+    if options.sanitize:
+        sanitizer = SimSanitizer()
+        sanitizer.install(sim)
+    protocol = _build_protocol(scenario, sim, rngs, tracer, protocol_factory)
+    network = protocol.network
+    if sanitizer is not None:
+        sanitizer.attach_network(network)
+    field = network.field
+    profiler: Optional[EngineProfiler] = None
+    if options.profile:
+        profiler = EngineProfiler()
+        sim.profiler = profiler
+
+    # --- coverage metric -------------------------------------------------
+    grid = CoverageGrid(
+        field,
+        sensing_range=scenario.sensing_range_m,
+        resolution=scenario.coverage_resolution_m,
+        max_k=max(scenario.coverage_ks) + 1,
+    )
+    tracker = CoverageTracker(
+        sim,
+        grid,
+        ks=scenario.coverage_ks,
+        sample_interval_s=scenario.sample_interval_s,
+        threshold=scenario.lifetime_threshold,
+    )
+    network.working_observers.append(tracker.on_working_change)
+
+    # --- replacement gaps (Fig 4/5 metric) --------------------------------
+    gap_monitor = None
+    if scenario.measure_gaps:
+        gap_monitor = CellGapMonitor(
+            sim, field, cell_size_m=scenario.config.probe_range_m
+        )
+        network.working_observers.append(gap_monitor.on_working_change)
+
+    # --- data delivery metric --------------------------------------------
+    traffic = None
+    if scenario.with_traffic:
+        topology = protocol.topology(scenario)
+
+        def topology_observer(time, node, started, _topology=topology):
+            if started:
+                _topology.add_working(node.node_id, node.position)
+            else:
+                _topology.remove_working(node.node_id)
+
+        network.working_observers.append(topology_observer)
+        router = GrabRouter(
+            topology,
+            source=scenario.source,
+            sink=scenario.sink,
+            attach_radius=scenario.comm_range_m,
+            link_loss=scenario.grab_link_loss,
+            mesh_width=scenario.grab_mesh_width,
+            rng=rngs.stream("grab"),
+        )
+        traffic = ReportTraffic(
+            sim,
+            router,
+            interval_s=scenario.report_interval_s,
+            threshold=scenario.lifetime_threshold,
+            path_hook=protocol.report_path_hook(scenario),
+        )
+
+    # --- failure injection -------------------------------------------------
+    injector = FailureInjector(
+        sim,
+        rate_hz=per_5000s(scenario.failure_per_5000s),
+        alive_provider=network.alive_ids,
+        kill=network.kill,
+        rng=rngs.stream("failures"),
+        tracer=tracer,
+    )
+
+    # --- run ----------------------------------------------------------------
+    protocol.start()
+    tracker.start()
+    if traffic is not None:
+        traffic.start()
+    injector.start()
+    while not network.all_dead and sim.now < scenario.max_time_s:
+        sim.run(until=sim.now + scenario.run_chunk_s)
+    tracker.stop()
+    if traffic is not None:
+        traffic.stop()
+
+    # --- collect --------------------------------------------------------------
+    energy = network.energy_report()
+    result = RunResult(
+        num_nodes=scenario.num_nodes,
+        seed=scenario.seed,
+        failure_rate_per_5000s=scenario.failure_per_5000s,
+        end_time=sim.now,
+        coverage_lifetimes=tracker.lifetimes(),
+        delivery_lifetime=traffic.delivery_lifetime() if traffic else None,
+        total_wakeups=protocol.total_wakeups(),
+        energy_total_j=energy.total_consumed_j,
+        energy_overhead_j=protocol.energy_overhead_j(energy),
+        energy_by_category=dict(energy.by_category),
+        failures_injected=injector.failures_injected,
+        counters=network.counters.as_dict(),
+        channel_counters=protocol.channel_counters(),
+    )
+    if scenario.keep_series:
+        for name in tracker.series.names():
+            result.series[name] = tracker.series.samples(name)
+        if traffic is not None:
+            for name in traffic.series.names():
+                result.series[name] = traffic.series.samples(name)
+    if gap_monitor is not None:
+        result.extras["gap_count"] = float(gap_monitor.gap_count())
+        result.extras["gap_mean_s"] = gap_monitor.mean_gap()
+        result.extras["gap_max_s"] = gap_monitor.max_gap()
+        result.extras["gap_p95_s"] = gap_monitor.percentile_gap(0.95)
+    if sanitizer is not None:
+        # Final sweep so end-of-run state is checked even when the last
+        # sweep period did not elapse, then report what ran.
+        sanitizer.sweep(sim.now)
+        result.extras["sanitizer_checks"] = float(sanitizer.total_checks)
+    if profiler is not None:
+        sim.profiler = None
+        result.profile = profiler.as_dict()
+
+    # --- provenance -----------------------------------------------------------
+    trace_info = None
+    if tracer is not None:
+        trace_info = tracer.stats()
+        path = getattr(tracer.sink, "path", None)
+        if path is not None:
+            trace_info["path"] = str(path)
+    result.manifest = build_manifest(
+        seed=scenario.seed,
+        config=scenario,
+        protocol=scenario.protocol if protocol_factory is None else "custom",
+        rng_streams=tuple(rngs.names()),
+        wall_time_s=time.perf_counter() - wall_start,
+        events_executed=sim.events_executed,
+        sim_end_time_s=sim.now,
+        trace=trace_info,
+        mac=protocol.mac_layout(scenario),
+    )
+    return result

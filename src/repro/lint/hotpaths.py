@@ -17,6 +17,11 @@ installed as ``repro/...``.
 Ad-hoc additions: end a ``def`` line with ``# peas-lint: hot`` to subject
 that function to the :data:`HOT_FUNCTIONS` rules, or ``# peas-lint:
 fast-loop`` for the stricter allocation rules, without editing this table.
+
+The registry is self-checked: ``tests/unit/test_hotpaths_registry.py``
+asserts every suffix matches a real file and every qualname resolves to a
+real ``def``, so refactors that move or rename a registered function fail
+fast instead of silently un-policing it.
 """
 
 from __future__ import annotations

@@ -114,6 +114,7 @@ def build_manifest(
     *,
     seed: int,
     config: Any,
+    protocol: Optional[str] = None,
     rng_streams: Iterable[str] = (),
     wall_time_s: Optional[float] = None,
     events_executed: Optional[int] = None,
@@ -124,14 +125,17 @@ def build_manifest(
 ) -> Dict[str, Any]:
     """Assemble the provenance block for one run.
 
-    ``trace`` carries sink accounting (path, emitted, dropped); ``mac`` the
-    control-plane window layout (see :func:`repro.net.mac.window_layout`).
+    ``protocol`` names the registered protocol that produced the run (see
+    :mod:`repro.protocols`); ``trace`` carries sink accounting (path,
+    emitted, dropped); ``mac`` the control-plane window layout (see
+    :func:`repro.net.mac.window_layout`).
     """
     manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "git_sha": git_sha(),
         "config_hash": config_hash(config),
         "seed": seed,
+        "protocol": protocol,
         "rng_streams": sorted(rng_streams),
         "packages": package_versions(),
         "platform": platform.platform(),

@@ -25,6 +25,7 @@ __all__ = [
     "spatial_grid_query_throughput",
     "coverage_update_throughput",
     "channel_broadcast_throughput",
+    "baseline_run_throughput",
 ]
 
 
@@ -113,10 +114,34 @@ def channel_broadcast_throughput() -> int:
     return sum(e.received for e in endpoints)
 
 
+def baseline_run_throughput() -> int:
+    """One small end-to-end duty-cycle baseline run through the harness.
+
+    Exercises the full composition path (deployment, channel, coverage,
+    failures, metrics) rather than a single kernel; uses only the
+    ``run_baseline(scenario, protocol=...)`` signature, which older trees
+    also expose, so ``--against`` comparisons still load.
+    """
+    from repro.baselines import run_baseline
+    from repro.experiments import Scenario
+
+    scenario = Scenario(
+        num_nodes=40,
+        field_size=(20.0, 20.0),
+        seed=5,
+        failure_per_5000s=4.0,
+        with_traffic=False,
+        max_time_s=2000.0,
+    )
+    result = run_baseline(scenario, protocol="duty_cycle")
+    return result.failures_injected + int(result.end_time)
+
+
 #: name -> workload, in report order
 KERNEL_WORKLOADS: Dict[str, Callable[[], object]] = {
     "engine_event_throughput": engine_event_throughput,
     "spatial_grid_query_throughput": spatial_grid_query_throughput,
     "coverage_update_throughput": coverage_update_throughput,
     "channel_broadcast_throughput": channel_broadcast_throughput,
+    "baseline_run_throughput": baseline_run_throughput,
 }

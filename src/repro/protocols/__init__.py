@@ -1,0 +1,36 @@
+"""Protocol registry: PEAS and the baseline schemes behind one interface.
+
+Every runnable protocol — PEAS itself and the six §6-style baselines — is a
+:class:`~repro.protocols.base.ProtocolSpec` in one registry, so
+``Scenario.protocol`` selects a protocol declaratively and the shared run
+harness (:mod:`repro.harness`) composes the identical substrate around any
+of them.  ``run_sweep`` can therefore sweep protocols exactly like
+populations or failure rates.
+
+>>> from repro.protocols import protocol_names
+>>> protocol_names()  # doctest: +NORMALIZE_WHITESPACE
+['afeca', 'always_on', 'duty_cycle', 'gaf', 'peas', 'span', 'synchronized']
+"""
+
+from .base import ProtocolRun, ProtocolSpec
+from .baseline import BaselineRun, baseline_spec, register_baseline_factories
+from .peas import PEAS_SPEC, PeasRun, build_network
+from .registry import PROTOCOLS, get_protocol, protocol_names, register_protocol
+
+__all__ = [
+    "ProtocolRun",
+    "ProtocolSpec",
+    "PeasRun",
+    "BaselineRun",
+    "build_network",
+    "baseline_spec",
+    "register_protocol",
+    "get_protocol",
+    "protocol_names",
+    "PROTOCOLS",
+    "PEAS_SPEC",
+]
+
+if PEAS_SPEC.name not in PROTOCOLS:
+    register_protocol(PEAS_SPEC)
+register_baseline_factories()

@@ -1,0 +1,80 @@
+"""Baselines run under the full capability stack via the shared harness.
+
+Before the harness refactor only PEAS runs could be traced, profiled,
+sanitized or manifest-stamped; baseline comparisons ran on a parallel
+code path with none of that.  These tests pin the new guarantee: every
+registered protocol accepts the same capability stack and emits the same
+provenance artifacts.
+"""
+
+import pytest
+
+from repro.baselines import run_baseline
+from repro.experiments import Scenario
+from repro.obs import RingBufferSink, Tracer, validate_trace_file
+
+SMALL = Scenario(
+    num_nodes=24,
+    field_size=(16.0, 16.0),
+    seed=2,
+    failure_per_5000s=4.0,
+    with_traffic=False,
+    max_time_s=2_000.0,
+)
+
+PROTOCOLS = ["duty_cycle", "gaf"]
+
+
+class TestBaselineCapabilities:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_manifest_records_protocol_and_rng_streams(self, protocol):
+        result = run_baseline(SMALL, protocol=protocol)
+        manifest = result.manifest
+        assert manifest["protocol"] == protocol
+        assert manifest["seed"] == SMALL.seed
+        assert manifest["events_executed"] > 0
+        assert "deployment" in manifest["rng_streams"]
+        assert "failures" in manifest["rng_streams"]
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_live_tracer_emits_and_preserves_metrics(self, protocol):
+        plain = run_baseline(SMALL, protocol=protocol)
+        tracer = Tracer(RingBufferSink())
+        traced = run_baseline(SMALL, protocol=protocol, tracer=tracer)
+        assert tracer.stats()["emitted"] > 0
+        assert traced.end_time == plain.end_time
+        assert traced.coverage_lifetimes == plain.coverage_lifetimes
+        assert traced.failures_injected == plain.failures_injected
+        assert traced.energy_total_j == plain.energy_total_j
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_trace_file_validates_with_manifest_sidecar(self, protocol, tmp_path):
+        from repro.harness import RunOptions, run
+        from repro.obs import load_manifest
+
+        trace = tmp_path / f"{protocol}.ndjson"
+        result = run(
+            SMALL.with_(protocol=protocol), RunOptions(trace_path=str(trace))
+        )
+        assert trace.stat().st_size > 0
+        assert validate_trace_file(trace) == []
+        sidecar = tmp_path / f"{protocol}.manifest.json"
+        manifest = load_manifest(sidecar)
+        assert manifest["protocol"] == protocol
+        assert manifest["trace"]["emitted"] == result.manifest["trace"]["emitted"]
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_sanitize_and_profile(self, protocol):
+        result = run_baseline(SMALL, protocol=protocol, sanitize=True, profile=True)
+        assert result.extras["sanitizer_checks"] > 0
+        assert result.profile is not None
+        assert result.profile["events"] > 0
+
+    def test_custom_factory_manifest_says_custom(self):
+        from repro.baselines import DutyCycleProtocol
+
+        def factory(network, rngs):
+            return DutyCycleProtocol(network, rng=rngs.stream("duty"))
+
+        result = run_baseline(SMALL, protocol_factory=factory)
+        assert result.manifest["protocol"] == "custom"

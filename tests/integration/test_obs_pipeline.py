@@ -78,6 +78,28 @@ class TestGoldenTrace:
         assert len(summary.failures) == result.failures_injected
         assert sum(summary.probes.values()) == result.counters.get("probes_sent", 0)
 
+    def test_harness_entrypoint_is_byte_identical(self, golden, tmp_path):
+        # The refactored composition layer must reproduce the legacy
+        # run_scenario trace byte-for-byte, manifest sidecar included.
+        from repro.harness import RunOptions, run
+
+        trace = tmp_path / "harness.ndjson"
+        run(TINY, RunOptions(trace_path=str(trace)))
+        assert trace.read_bytes() == golden[0]
+        assert (tmp_path / "harness.manifest.json").exists()
+
+    def test_sweep_path_is_byte_identical(self, golden, tmp_path):
+        # Serial run_sweep with a templated trace path runs the same
+        # harness code pooled workers do; its trace must match too.
+        from repro.experiments import run_sweep
+        from repro.harness import RunOptions
+
+        template = tmp_path / "s{seed}-n{nodes}-{protocol}.ndjson"
+        (result,) = run_sweep([TINY], options=RunOptions(trace_path=str(template)))
+        trace = tmp_path / f"s{TINY.seed}-n{TINY.num_nodes}-peas.ndjson"
+        assert trace.read_bytes() == golden[0]
+        assert result.manifest["protocol"] == "peas"
+
 
 def _fingerprint(result):
     payload = dataclasses.asdict(result)
@@ -113,6 +135,7 @@ class TestManifestProvenance:
         result = run_scenario(TINY)
         manifest = result.manifest
         assert manifest["seed"] == TINY.seed
+        assert manifest["protocol"] == "peas"
         assert manifest["config_hash"] == run_scenario(TINY).manifest["config_hash"]
         assert "channel" in manifest["rng_streams"]
         assert manifest["events_executed"] > 0

@@ -1,0 +1,62 @@
+"""The hot-path registry must point at real code.
+
+A refactor that moves or renames a registered function would otherwise
+silently stop policing it: the suffix no longer matches, or the qualname no
+longer resolves, and peas-lint just skips it.  These tests pin every entry
+of both tables to an actual ``def`` in the source tree.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.lint.hotpaths import ENGINE_FAST_LOOPS, HOT_FUNCTIONS
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _qualnames(path: Path) -> set:
+    """All ``name`` / ``Class.method`` qualnames defined in a module."""
+    tree = ast.parse(path.read_text())
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(f"{node.name}.{item.name}")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+    return names
+
+
+def _resolve(suffix: str) -> Path:
+    matches = [p for p in SRC.rglob("*.py") if p.as_posix().endswith(suffix)]
+    assert matches, f"registry suffix {suffix!r} matches no file under src/"
+    assert len(matches) == 1, f"registry suffix {suffix!r} is ambiguous: {matches}"
+    return matches[0]
+
+
+@pytest.mark.parametrize(
+    "table_name,table",
+    [("HOT_FUNCTIONS", HOT_FUNCTIONS), ("ENGINE_FAST_LOOPS", ENGINE_FAST_LOOPS)],
+)
+def test_every_entry_resolves_to_a_real_def(table_name, table):
+    for suffix, qualnames in table.items():
+        defined = _qualnames(_resolve(suffix))
+        missing = set(qualnames) - defined
+        assert not missing, (
+            f"{table_name}[{suffix!r}] registers functions that no longer "
+            f"exist: {sorted(missing)}"
+        )
+
+
+def test_fast_loops_are_a_subset_of_hot_functions():
+    # The fast-loop rules extend the hot-function rules; every fast loop
+    # should also get the trace-guard policing.
+    for suffix, qualnames in ENGINE_FAST_LOOPS.items():
+        assert suffix in HOT_FUNCTIONS, suffix
+        assert qualnames <= HOT_FUNCTIONS[suffix], (
+            f"fast loops in {suffix!r} missing from HOT_FUNCTIONS: "
+            f"{sorted(qualnames - HOT_FUNCTIONS[suffix])}"
+        )

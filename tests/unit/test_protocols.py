@@ -1,0 +1,105 @@
+"""Unit tests for the protocol registry (``repro.protocols``)."""
+
+import pytest
+
+from repro.experiments import Scenario
+from repro.protocols import (
+    PEAS_SPEC,
+    PROTOCOLS,
+    ProtocolSpec,
+    get_protocol,
+    protocol_names,
+    register_protocol,
+)
+
+EXPECTED = ["afeca", "always_on", "duty_cycle", "gaf", "peas", "span", "synchronized"]
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        assert protocol_names() == EXPECTED
+
+    def test_peas_is_the_peas_kind(self):
+        spec = get_protocol("peas")
+        assert spec is PEAS_SPEC
+        assert spec.kind == "peas"
+
+    def test_baselines_are_baseline_kind(self):
+        for name in EXPECTED:
+            if name == "peas":
+                continue
+            assert get_protocol(name).kind == "baseline", name
+
+    def test_every_spec_has_a_description(self):
+        for name in EXPECTED:
+            assert get_protocol(name).description
+
+    def test_unknown_protocol_raises_with_choices(self):
+        with pytest.raises(KeyError) as exc:
+            get_protocol("csma")
+        message = str(exc.value)
+        assert "csma" in message
+        assert "peas" in message  # lists the valid choices
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_protocol(PEAS_SPEC)
+
+    def test_replace_allows_reregistration(self):
+        spec = PROTOCOLS["peas"]
+        register_protocol(spec, replace=True)
+        assert PROTOCOLS["peas"] is spec
+
+    def test_import_is_idempotent(self):
+        import importlib
+
+        import repro.protocols
+
+        importlib.reload(repro.protocols)
+        assert repro.protocols.protocol_names() == EXPECTED
+
+
+class TestScenarioProtocolField:
+    def test_default_is_peas(self):
+        assert Scenario().protocol == "peas"
+
+    def test_baseline_protocols_accepted(self):
+        assert Scenario(protocol="gaf").protocol == "gaf"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError) as exc:
+            Scenario(protocol="unknown")
+        assert "unknown" in str(exc.value)
+
+    def test_with_switches_protocol(self):
+        base = Scenario()
+        assert base.with_(protocol="span").protocol == "span"
+        assert base.protocol == "peas"
+
+
+class TestProtocolRunDefaults:
+    def test_optional_hooks_default_sensibly(self):
+        from repro.protocols.base import ProtocolRun
+
+        class Minimal(ProtocolRun):
+            def start(self):
+                pass
+
+            def topology(self, scenario):
+                raise NotImplementedError
+
+        run = Minimal()
+        assert run.total_wakeups() == 0
+        assert run.channel_counters() == {}
+        assert run.report_path_hook(Scenario()) is None
+        assert run.mac_layout(Scenario()) is None
+
+    def test_spec_is_immutable(self):
+        with pytest.raises(Exception):
+            PEAS_SPEC.name = "other"  # type: ignore[misc]
+
+    def test_spec_fields(self):
+        spec = ProtocolSpec(
+            name="x", kind="baseline", description="d", build=lambda *a: None
+        )
+        assert spec.name == "x"

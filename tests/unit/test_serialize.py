@@ -1,13 +1,18 @@
-"""Unit tests for run-result JSON serialization."""
+"""Unit tests for run-result and scenario JSON serialization."""
+
+import json
 
 import pytest
 
 from repro.experiments import (
     RunResult,
+    Scenario,
     load_results,
     result_from_dict,
     result_to_dict,
     save_results,
+    scenario_from_dict,
+    scenario_to_dict,
 )
 
 
@@ -80,7 +85,7 @@ class TestFileRoundTrip:
             load_results(path)
 
     def test_round_trip_through_real_run(self, tmp_path):
-        from repro.experiments import Scenario, run_scenario
+        from repro.experiments import run_scenario
 
         result = run_scenario(
             Scenario(num_nodes=20, field_size=(15.0, 15.0), seed=1,
@@ -91,3 +96,49 @@ class TestFileRoundTrip:
         (restored,) = load_results(path)
         assert restored.total_wakeups == result.total_wakeups
         assert restored.coverage_lifetimes == result.coverage_lifetimes
+
+
+class TestScenarioRoundTrip:
+    def test_round_trip_preserves_every_field(self):
+        import dataclasses
+
+        original = Scenario(
+            num_nodes=123,
+            field_size=(33.0, 44.0),
+            seed=9,
+            failure_per_5000s=21.33,
+            protocol="gaf",
+            with_traffic=True,
+            keep_series=True,
+            measure_gaps=True,
+            max_time_s=2500.0,
+        )
+        restored = scenario_from_dict(scenario_to_dict(original))
+        for spec in dataclasses.fields(Scenario):
+            assert getattr(restored, spec.name) == getattr(original, spec.name), spec.name
+
+    def test_round_trip_survives_json(self):
+        original = Scenario(num_nodes=64, protocol="duty_cycle")
+        payload = json.loads(json.dumps(scenario_to_dict(original)))
+        restored = scenario_from_dict(payload)
+        assert restored == original
+        assert restored.protocol == "duty_cycle"
+        assert isinstance(restored.field_size, tuple)
+        assert isinstance(restored.coverage_ks, tuple)
+
+    def test_golden_payload_shape(self):
+        # Pin the wire format: schema marker plus one key per Scenario
+        # field, with config/profile as nested dicts.
+        payload = scenario_to_dict(Scenario(num_nodes=10))
+        assert payload["schema"] == "peas-scenario/1"
+        assert payload["protocol"] == "peas"
+        assert payload["num_nodes"] == 10
+        assert isinstance(payload["config"], dict)
+        assert isinstance(payload["profile"], dict)
+        assert isinstance(payload["field_size"], list)
+
+    def test_unknown_schema_rejected(self):
+        payload = scenario_to_dict(Scenario())
+        payload["schema"] = "peas-scenario/99"
+        with pytest.raises(ValueError):
+            scenario_from_dict(payload)
