@@ -4,6 +4,8 @@ Commands mirror the paper's evaluation artifacts::
 
     peas-repro run --nodes 320 --seed 1          # one scenario, full metrics
     peas-repro run --protocol duty_cycle          # any registered protocol
+    peas-repro run --faults plan.json             # run under a fault plan
+    peas-repro robustness                         # fault-regime sweep
     peas-repro fig9                               # coverage lifetime vs N
     peas-repro fig10 / fig11 / table1             # delivery / wakeups / energy
     peas-repro fig12 / fig13 / fig14              # failure-rate sweeps
@@ -63,6 +65,10 @@ def _cmd_run(args: argparse.Namespace) -> None:
         with_traffic=not args.no_traffic,
         measure_gaps=True,
     )
+    if args.faults:
+        from .faults import load_fault_plan
+
+        scenario = scenario.with_(fault_plan=load_fault_plan(args.faults))
     tracer = None
     if args.trace:
         tracer = Tracer(NdjsonSink(args.trace))
@@ -94,6 +100,13 @@ def _cmd_run(args: argparse.Namespace) -> None:
     )
     print(f"  failures injected: {result.failures_injected} "
           f"({result.failure_fraction * 100:.1f}%)")
+    if "faults_fired" in result.extras:
+        recovery = result.extras.get("recovery_mean_s")
+        print(f"  faults fired: {result.extras['faults_fired']:.0f} "
+              f"(max coverage dip {result.extras.get('coverage_dip_max', 0.0):.3f}, "
+              f"mean recovery "
+              f"{'-' if recovery is None else f'{recovery:.0f}s'}, "
+              f"unrecovered {result.extras.get('faults_unrecovered', 0.0):.0f})")
     if args.sanitize:
         print(f"  sanitizer: {result.extras.get('sanitizer_checks', 0):.0f} "
               f"invariant checks, 0 violations")
@@ -207,6 +220,27 @@ def _cmd_baselines(args: argparse.Namespace) -> None:
         title=f"PEAS vs baselines (N={args.nodes}, {len(seeds)} seed(s))"))
 
 
+def _cmd_robustness(args: argparse.Namespace) -> None:
+    from .experiments import get_robustness_results, robustness_rows
+
+    groups = get_robustness_results()
+    rows = []
+    for name, ok, lifetime, dip, recovery, deaths in robustness_rows(groups):
+        rows.append([
+            name,
+            ok,
+            f"{lifetime:.0f}" if lifetime is not None else "-",
+            f"{dip:.3f}" if dip is not None else "-",
+            f"{recovery:.0f}" if recovery is not None else "-",
+            f"{deaths:.1f}" if deaths is not None else "-",
+        ])
+    print(format_table(
+        ["regime", "runs ok", "3-cov lifetime (s)", "max dip",
+         "mean recovery (s)", "deaths"],
+        rows,
+        title="Robustness: PEAS under the fault-model catalogue (N=320)"))
+
+
 def _cmd_connectivity(args: argparse.Namespace) -> None:
     # Derived, named stream (not bare random.Random(seed)): seeds stay
     # decorrelated from every simulation stream built on the same master.
@@ -268,6 +302,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--failure-rate", type=float, default=10.66,
                        help="failures per 5000 s")
     run_p.add_argument("--no-traffic", action="store_true")
+    run_p.add_argument("--faults", metavar="PATH", default=None,
+                       help="run under a declarative fault plan "
+                            "(peas-faultplan/1 JSON; see docs/ROBUSTNESS.md)")
     run_p.add_argument("--trace", metavar="PATH", default=None,
                        help="stream structured trace events to an NDJSON file "
                             "(a .manifest.json is written next to it)")
@@ -291,6 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_parser(name, help=f"reproduce {name} (deployment sweep)")
     for name in ("fig12", "fig13", "fig14"):
         sub.add_parser(name, help=f"reproduce {name} (failure sweep)")
+    sub.add_parser(
+        "robustness",
+        help="sweep the fault-model catalogue and report recovery metrics",
+    )
 
     base_p = sub.add_parser("baselines", help="PEAS vs baseline protocols")
     base_p.add_argument("--nodes", type=int, default=320)
@@ -344,6 +385,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_deployment_artifact(args.command)
     elif args.command in ("fig12", "fig13", "fig14"):
         _cmd_failure_artifact(args.command)
+    elif args.command == "robustness":
+        _cmd_robustness(args)
     elif args.command == "baselines":
         _cmd_baselines(args)
     elif args.command == "connectivity":

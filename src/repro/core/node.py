@@ -98,6 +98,13 @@ class PEASNode:
         self.anchor = anchor
         self.mode = NodeMode.SLEEPING
         self.rate_hz = config.initial_rate_hz
+        #: Multiplicative skew applied to this node's locally-timed protocol
+        #: delays — sleep durations, probe offsets, the listening window —
+        #: modelling an imperfect oscillator (fault injection's clock-drift
+        #: model).  Exactly 1.0 is a perfect clock, and because ``x * 1.0``
+        #: is bit-exact for IEEE floats the default costs nothing and keeps
+        #: skewless runs byte-identical.
+        self.clock_skew = 1.0
         self.death_cause: Optional[DeathCause] = None
         self.work_started_at: Optional[float] = None
         self.wakeup_count = 0
@@ -161,9 +168,76 @@ class PEASNode:
             raise ValueError("anchored stations cannot be failure targets")
         self._die(DeathCause.FAILURE)
 
+    def stun(self) -> bool:
+        """Transient outage (fault injection): go deaf until :meth:`restore`.
+
+        The node leaves whatever live mode it was in, turns its radio to
+        the sleep draw, cancels every pending protocol timer and stops
+        answering or hearing frames.  A stunned *working* node vacates its
+        working slot — exactly the §3 situation where a sleeper's probe
+        goes unanswered and a replacement wakes into the hole.  Battery
+        depletion (and injected failures) still apply while down.
+
+        Returns ``True`` if the node was stunned, ``False`` when it was
+        not a valid target (anchor, already stunned, or dead).
+        """
+        if self.anchor or self.mode in (NodeMode.STUNNED, NodeMode.DEAD):
+            return False
+        was_working = self.mode is NodeMode.WORKING
+        previous = self.mode
+        check_transition(self.mode, NodeMode.STUNNED)
+        self.mode = NodeMode.STUNNED
+        if self._tracer is not None:
+            self._tracer.emit(
+                trace_events.state(
+                    self.sim.now, self._node_id, previous.value, "stunned",
+                    cause="outage",
+                )
+            )
+        self.battery.set_mode(self.sim.now, RadioMode.SLEEP)
+        self._sleep_timer.cancel()
+        self._window_timer.cancel()
+        self._pending_replies = []
+        self._reply_busy_until = -1.0
+        self.counters.incr("outages")
+        if was_working:
+            self.work_started_at = None
+            self.estimator = None
+            self.hooks.on_working_stop(self, "outage")
+        self._reschedule_death()
+        return True
+
+    def restore(self) -> bool:
+        """End a transient outage: rejoin as an ordinary sleeper.
+
+        The node keeps its adapted wakeup rate (its lambda memory survives
+        the outage) and draws a fresh sleep interval — re-adoption into
+        the PEAS population is then entirely probe-driven.  Returns
+        ``False`` when there is nothing to restore (the node died while
+        down, or was never stunned).
+        """
+        if self.mode is not NodeMode.STUNNED:
+            return False
+        check_transition(self.mode, NodeMode.SLEEPING)
+        self.mode = NodeMode.SLEEPING
+        if self._tracer is not None:
+            self._tracer.emit(
+                trace_events.state(
+                    self.sim.now, self._node_id, "stunned", "sleeping",
+                    cause="restored", rate_hz=self.rate_hz,
+                )
+            )
+        self.battery.set_mode(self.sim.now, RadioMode.SLEEP)
+        self.counters.incr("restores")
+        self._schedule_sleep()
+        self._reschedule_death()
+        return True
+
     # --------------------------------------------------------------- wakeup
     def _schedule_sleep(self) -> None:
-        self._sleep_timer.start(sleep_duration(self.rng, self.rate_hz))
+        self._sleep_timer.start(
+            sleep_duration(self.rng, self.rate_hz) * self.clock_skew
+        )
 
     def _wake(self) -> None:
         if self.mode is not NodeMode.SLEEPING:
@@ -182,9 +256,10 @@ class PEASNode:
         offsets = probe_offsets(
             self.config.num_probes, self._probe_airtime, self.config.probe_gap_s
         )
+        skew = self.clock_skew
         for index, offset in enumerate(offsets):
-            self.sim.schedule(offset, self._send_probe, index, label="probe-tx")
-        self._window_timer.start(self.config.probe_window_s)
+            self.sim.schedule(offset * skew, self._send_probe, index, label="probe-tx")
+        self._window_timer.start(self.config.probe_window_s * skew)
         self._reschedule_death()
 
     def _send_probe(self, index: int) -> None:
@@ -208,7 +283,7 @@ class PEASNode:
             return
         # Attribute the listening window's idle draw to protocol overhead
         # (already consumed via the IDLE mode; attribution only, Table 1).
-        idle_j = self.battery.profile.idle_w * self.config.probe_window_s
+        idle_j = self.battery.profile.idle_w * self.config.probe_window_s * self.clock_skew
         self.battery.attribute("probe_idle", idle_j)
         if self._tracer is not None:
             self._tracer.emit(
@@ -417,6 +492,15 @@ class PEASNode:
                 f"node {self._node_id!r} has a non-positive wakeup rate "
                 f"({self.rate_hz!r} Hz); eq. (2) clamps to [min_rate, max_rate]"
             )
+        if mode is NodeMode.STUNNED:
+            if self.work_started_at is not None:
+                raise InvariantViolation(
+                    f"stunned node {self._node_id!r} retains a work start time"
+                )
+            if self.estimator is not None:
+                raise InvariantViolation(
+                    f"stunned node {self._node_id!r} retains a rate estimator"
+                )
         if mode is NodeMode.WORKING:
             if self.work_started_at is None:
                 raise InvariantViolation(

@@ -4,6 +4,14 @@ Each PEAS node is in exactly one of three live modes — Sleeping, Probing,
 Working — plus the terminal Dead state.  The transition table mirrors the
 paper's Figure 1, extended with the §4 overlap-resolution edge
 (Working -> Sleeping) and death edges from every live mode.
+
+The fault-injection subsystem adds one more non-paper mode: **Stunned**, a
+transient outage (radio deaf, timers frozen, battery at sleep draw) that a
+node enters from any live mode and leaves back into Sleeping when the
+outage clears — or into Dead if its battery runs out or a failure is
+injected while it is down.  §3's replacement argument is exactly about
+this case: the stunned node's working slot is vacated and probed awake
+again by a sleeper, and the returning node rejoins as an ordinary sleeper.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ class NodeMode(enum.Enum):
     SLEEPING = "sleeping"
     PROBING = "probing"
     WORKING = "working"
+    STUNNED = "stunned"
     DEAD = "dead"
 
 
@@ -28,12 +37,19 @@ class DeathCause(enum.Enum):
     FAILURE = "failure"
 
 
-#: Figure 1 of the paper plus §4's working->sleeping overlap turnoff and
-#: death edges.
+#: Figure 1 of the paper plus §4's working->sleeping overlap turnoff,
+#: death edges, and the transient-outage (Stunned) edges.
 LEGAL_TRANSITIONS: Dict[NodeMode, FrozenSet[NodeMode]] = {
-    NodeMode.SLEEPING: frozenset({NodeMode.PROBING, NodeMode.DEAD}),
-    NodeMode.PROBING: frozenset({NodeMode.SLEEPING, NodeMode.WORKING, NodeMode.DEAD}),
-    NodeMode.WORKING: frozenset({NodeMode.SLEEPING, NodeMode.DEAD}),
+    NodeMode.SLEEPING: frozenset(
+        {NodeMode.PROBING, NodeMode.STUNNED, NodeMode.DEAD}
+    ),
+    NodeMode.PROBING: frozenset(
+        {NodeMode.SLEEPING, NodeMode.WORKING, NodeMode.STUNNED, NodeMode.DEAD}
+    ),
+    NodeMode.WORKING: frozenset(
+        {NodeMode.SLEEPING, NodeMode.STUNNED, NodeMode.DEAD}
+    ),
+    NodeMode.STUNNED: frozenset({NodeMode.SLEEPING, NodeMode.DEAD}),
     NodeMode.DEAD: frozenset(),
 }
 

@@ -11,7 +11,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["RunResult", "MeanStd", "aggregate_values", "aggregate_lifetimes"]
+__all__ = [
+    "RunResult",
+    "MeanStd",
+    "FaultRecovery",
+    "aggregate_values",
+    "aggregate_lifetimes",
+    "recovery_after_faults",
+    "recovery_extras",
+]
 
 
 @dataclass
@@ -82,3 +90,70 @@ def aggregate_lifetimes(
 ) -> Optional[MeanStd]:
     """Aggregate the K-coverage lifetime across repeated-seed runs."""
     return aggregate_values([r.coverage_lifetimes.get(k) for r in results])
+
+
+@dataclass(frozen=True)
+class FaultRecovery:
+    """How the coverage fraction weathered one fault strike.
+
+    The empirical counterpart of §3's replacement-delay bound: how deep
+    coverage dipped below the health threshold after the strike, and how
+    long until probing restored it.
+    """
+
+    #: when the fault fired
+    fault_time_s: float
+    #: worst shortfall below the threshold before recovery (0: never dipped)
+    dip_depth: float
+    #: seconds from the strike until coverage was back at/above the
+    #: threshold (``None``: never recovered before the run ended)
+    recovery_s: Optional[float]
+
+
+def recovery_after_faults(
+    samples: Sequence[Tuple[float, float]],
+    fire_times: Sequence[float],
+    threshold: float,
+) -> List[FaultRecovery]:
+    """Fold a coverage time-series into per-fault recovery records.
+
+    For each fault instant, scans the samples strictly after it: the dip
+    depth is the worst ``threshold - value`` seen before the first sample
+    at/above the threshold, and the recovery time is that sample's delay
+    from the strike.  Faults with no samples after them yield a zero-dip,
+    unrecovered record (the run ended at the strike).
+    """
+    records: List[FaultRecovery] = []
+    for fault_time in fire_times:
+        dip = 0.0
+        recovery: Optional[float] = None
+        for t, value in samples:
+            if t <= fault_time:
+                continue
+            if value >= threshold:
+                recovery = float(t - fault_time)
+                break
+            # float() guards against array-scalar samples leaking into
+            # JSON-bound extras.
+            dip = max(dip, float(threshold - value))
+        records.append(
+            FaultRecovery(
+                fault_time_s=fault_time, dip_depth=dip, recovery_s=recovery
+            )
+        )
+    return records
+
+
+def recovery_extras(recoveries: Sequence[FaultRecovery]) -> Dict[str, float]:
+    """Summarize recovery records as flat ``RunResult.extras`` scalars."""
+    if not recoveries:
+        return {}
+    recovered = [r.recovery_s for r in recoveries if r.recovery_s is not None]
+    extras: Dict[str, float] = {
+        "coverage_dip_max": max(r.dip_depth for r in recoveries),
+        "faults_unrecovered": float(len(recoveries) - len(recovered)),
+    }
+    if recovered:
+        extras["recovery_mean_s"] = sum(recovered) / len(recovered)
+        extras["recovery_max_s"] = max(recovered)
+    return extras

@@ -21,6 +21,7 @@ from typing import Any, Optional, Tuple
 
 from ..core import PEASConfig
 from ..energy import MOTE_PROFILE, PowerProfile
+from ..faults.plan import FaultPlan
 from ..net import DEPLOYMENTS
 
 __all__ = ["Scenario"]
@@ -50,6 +51,10 @@ class Scenario:
 
     # Failure injection (§5.3); the paper's unit is failures per 5000 s.
     failure_per_5000s: float = 10.66
+    #: Declarative fault plan (:mod:`repro.faults`) layered on top of the
+    #: ambient §5.3 process.  The empty default schedules nothing and is
+    #: byte-identical to a run without the subsystem.
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
 
     # Traffic (§5.2): source at origin corner, sink at far corner.
     with_traffic: bool = True
@@ -98,6 +103,12 @@ class Scenario:
             raise ValueError("field dimensions must be positive")
         if self.failure_per_5000s < 0:
             raise ValueError("failure_per_5000s must be nonnegative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if not isinstance(self.fault_plan, FaultPlan):
+            raise TypeError("fault_plan must be a FaultPlan")
         if self.max_time_s <= 0 or self.run_chunk_s <= 0:
             raise ValueError("time controls must be positive")
         if self.report_size_bytes <= 0:

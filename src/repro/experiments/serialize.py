@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Union
 
 from ..core import PEASConfig
 from ..energy import PowerProfile
+from ..faults.plan import fault_plan_from_dict, fault_plan_to_dict
 from .metrics import RunResult
 from .scenario import Scenario
 
@@ -106,6 +107,8 @@ def scenario_to_dict(scenario: Scenario) -> Dict:
         value = getattr(scenario, spec.name)
         if spec.name in ("config", "profile"):
             value = dataclasses.asdict(value)
+        elif spec.name == "fault_plan":
+            value = fault_plan_to_dict(value)
         elif isinstance(value, tuple):
             value = list(value)
         payload[spec.name] = value
@@ -123,6 +126,8 @@ def scenario_from_dict(payload: Dict) -> Scenario:
     kwargs["profile"] = PowerProfile(**kwargs["profile"])
     kwargs["field_size"] = tuple(kwargs["field_size"])
     kwargs["coverage_ks"] = tuple(kwargs["coverage_ks"])
+    if "fault_plan" in kwargs:
+        kwargs["fault_plan"] = fault_plan_from_dict(kwargs["fault_plan"])
     return Scenario(**kwargs)
 
 

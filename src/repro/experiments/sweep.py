@@ -8,20 +8,38 @@ deterministically).  Because a :class:`~repro.experiments.scenario.Scenario`
 names its protocol and a :class:`~repro.harness.RunOptions` is picklable,
 pooled runs execute the identical harness code path as serial ones —
 capabilities included.
+
+A crash inside one run no longer takes the whole sweep down: every run is
+executed under a guard that captures the exception (type, message,
+traceback text) in a picklable :class:`RunError`, failed runs are retried
+once with the identical scenario (same seed — reproducible failures fail
+twice, transient ones recover), and whatever still fails is surfaced
+according to ``errors=``: ``"raise"`` re-raises with a sweep-level summary
+after all runs finish, ``"collect"`` leaves the :class:`RunError` in the
+result list at the failed scenario's position.
 """
 
 from __future__ import annotations
 
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..harness import RunOptions
-from ..harness.runner import run as _run_one
+from ..harness.runner import run as _run_scenario
 from .metrics import RunResult
 from .scenario import Scenario
 
-__all__ = ["expand_seeds", "expand_protocols", "run_sweep", "group_by"]
+__all__ = [
+    "RunError",
+    "SweepError",
+    "expand_seeds",
+    "expand_protocols",
+    "run_sweep",
+    "group_by",
+]
 
 
 def expand_seeds(scenarios: Iterable[Scenario], seeds: Sequence[int]) -> List[Scenario]:
@@ -40,6 +58,66 @@ def expand_protocols(
     ]
 
 
+@dataclass(frozen=True)
+class RunError:
+    """A structured record of one failed run (picklable, JSON-friendly).
+
+    Captures what the parent process needs to triage a worker crash
+    without the original exception object: the scenario's identifying
+    coordinates, the exception type/message, and the formatted traceback.
+    """
+
+    scenario: Scenario
+    error_type: str
+    error_message: str
+    traceback_text: str
+    #: how many attempts were made (1 = failed without a retry)
+    attempts: int = 1
+
+    def summary(self) -> str:
+        return (
+            f"{self.scenario.protocol}/n={self.scenario.num_nodes}/"
+            f"seed={self.scenario.seed}: {self.error_type}: "
+            f"{self.error_message}"
+        )
+
+
+class SweepError(RuntimeError):
+    """Raised by ``run_sweep(errors="raise")`` after the sweep completes;
+    carries every :class:`RunError` for triage."""
+
+    def __init__(self, failures: List[RunError]) -> None:
+        lines = "\n".join(f"  - {f.summary()}" for f in failures)
+        super().__init__(
+            f"{len(failures)} of the sweep's runs failed (after one retry "
+            f"each):\n{lines}"
+        )
+        self.failures = failures
+
+
+@dataclass
+class _Outcome:
+    """Picklable envelope a guarded worker sends back: result or error."""
+
+    result: Optional[RunResult] = None
+    error: Optional[RunError] = None
+    retried: bool = field(default=False, compare=False)
+
+
+def _guarded_run(scenario: Scenario, options: RunOptions) -> _Outcome:
+    try:
+        return _Outcome(result=_run_scenario(scenario, options))
+    except Exception as exc:  # noqa: BLE001 - captured, surfaced by policy
+        return _Outcome(
+            error=RunError(
+                scenario=scenario,
+                error_type=type(exc).__name__,
+                error_message=str(exc),
+                traceback_text=traceback.format_exc(),
+            )
+        )
+
+
 def _default_chunksize(num_scenarios: int, processes: int) -> int:
     """Batch pool work items explicitly instead of ``pool.map``'s default.
 
@@ -56,27 +134,66 @@ def run_sweep(
     processes: Optional[int] = None,
     options: Optional[RunOptions] = None,
     chunksize: Optional[int] = None,
-) -> List[RunResult]:
+    errors: str = "raise",
+) -> List[Union[RunResult, RunError]]:
     """Run every scenario; ``processes`` > 1 uses a process pool.
 
     Results are returned in the order of the input scenarios either way, so
     downstream grouping is deterministic.  ``options`` applies the same
     capability stack (profile / sanitize / trace-to-path) to every run,
     pooled or serial; ``chunksize`` overrides the per-worker batching.
+
+    Failed runs are retried once, serially, with the identical scenario
+    (the run is seed-deterministic, so a logic bug fails twice while a
+    transient worker problem recovers).  ``errors`` picks what happens to
+    runs that fail both attempts: ``"raise"`` (default) raises a
+    :class:`SweepError` summarizing every failure once the sweep finishes,
+    ``"collect"`` returns :class:`RunError` records in the failed runs'
+    positions (callers filter with ``isinstance``).
     """
+    if errors not in ("raise", "collect"):
+        raise ValueError(f"errors must be 'raise' or 'collect', got {errors!r}")
     options = options if options is not None else RunOptions()
     if processes is not None and processes > 1:
         if chunksize is None:
             chunksize = _default_chunksize(len(scenarios), processes)
         with ProcessPoolExecutor(max_workers=processes) as pool:
-            return list(
+            outcomes = list(
                 pool.map(
-                    partial(_run_one, options=options),
+                    partial(_guarded_run, options=options),
                     scenarios,
                     chunksize=chunksize,
                 )
             )
-    return [_run_one(scenario, options) for scenario in scenarios]
+    else:
+        outcomes = [_guarded_run(scenario, options) for scenario in scenarios]
+
+    # One same-seed retry for each failure, serial and in input order.
+    for index, outcome in enumerate(outcomes):
+        if outcome.error is None:
+            continue
+        retry = _guarded_run(scenarios[index], options)
+        retry.retried = True
+        if retry.error is not None:
+            retry = _Outcome(
+                error=RunError(
+                    scenario=retry.error.scenario,
+                    error_type=retry.error.error_type,
+                    error_message=retry.error.error_message,
+                    traceback_text=retry.error.traceback_text,
+                    attempts=2,
+                ),
+                retried=True,
+            )
+        outcomes[index] = retry
+
+    failures = [o.error for o in outcomes if o.error is not None]
+    if failures and errors == "raise":
+        raise SweepError(failures)
+    return [
+        outcome.result if outcome.result is not None else outcome.error  # type: ignore[misc]
+        for outcome in outcomes
+    ]
 
 
 def group_by(

@@ -7,8 +7,11 @@ Note that failures are deaths not incurred by energy depletions."
 
 Model: a Poisson process with the configured rate; at each arrival a victim
 is drawn uniformly from the currently *alive* nodes and killed outright.
-The process stops itself when no targets remain.  The paper expresses rates
-as "failures per 5000 seconds"; :func:`per_5000s` converts.
+An arrival that finds no targets is a no-op, but the process re-arms —
+the alive set can *repopulate* (transient-outage faults restore stunned
+nodes), so an empty instant must not terminate injection for good.  The
+paper expresses rates as "failures per 5000 seconds"; :func:`per_5000s`
+converts.
 """
 
 from __future__ import annotations
@@ -92,12 +95,14 @@ class FailureInjector:
 
     def _fire(self) -> None:
         victims = list(self.alive_provider())
-        if not victims:
-            return  # everyone is dead; stop the process
-        victim = victims[self.rng.randrange(len(victims))]
-        self.failures_injected += 1
-        self.failure_times.append(self.sim.now)
-        if self._tracer is not None:
-            self._tracer.emit(trace_events.fail(self.sim.now, victim))
-        self.kill(victim)
+        if victims:
+            victim = victims[self.rng.randrange(len(victims))]
+            # Kill first, record after: the ``fail`` event marks a death
+            # that actually happened, and follows the victim's own
+            # ``state -> dead`` event in the trace.
+            self.kill(victim)
+            self.failures_injected += 1
+            self.failure_times.append(self.sim.now)
+            if self._tracer is not None:
+                self._tracer.emit(trace_events.fail(self.sim.now, victim))
         self._schedule_next()

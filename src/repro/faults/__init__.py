@@ -1,0 +1,54 @@
+"""Pluggable fault injection: declarative plans, a deterministic runtime.
+
+PEAS's headline claim is robustness (§3's replacement-delay bound, §5.3's
+graceful degradation under failures), but real deployments fail in richer
+ways than uniform Poisson crashes: whole regions get destroyed at once,
+nodes stall and come back, interference arrives in bursts, clocks drift.
+This package models that scenario space:
+
+* :class:`~repro.faults.plan.FaultPlan` — a declarative, serializable,
+  seed-deterministic list of fault-model entries (crash, region kill,
+  transient outage, bursty loss, clock drift);
+* :class:`~repro.faults.engine.FaultEngine` — the runtime that executes a
+  plan against a live run, emitting ``fault_arm`` / ``fault_fire`` /
+  ``fault_clear`` trace events.
+
+The empty plan is the default everywhere and is byte-identical to a run
+without the subsystem: the paper's §5.3 crash process still runs (as an
+implicit crash entry on the same RNG stream it always used), and no fault
+events are emitted.
+"""
+
+from .engine import FaultEngine
+from .plan import (
+    FAULT_KINDS,
+    FAULT_PLAN_SCHEMA,
+    BurstyLossFault,
+    ClockDriftFault,
+    CrashFault,
+    FaultModel,
+    FaultPlan,
+    RegionKillFault,
+    TransientOutageFault,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
+    load_fault_plan,
+    save_fault_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_SCHEMA",
+    "FaultPlan",
+    "FaultModel",
+    "CrashFault",
+    "RegionKillFault",
+    "TransientOutageFault",
+    "BurstyLossFault",
+    "ClockDriftFault",
+    "FaultEngine",
+    "fault_plan_to_dict",
+    "fault_plan_from_dict",
+    "load_fault_plan",
+    "save_fault_plan",
+]

@@ -1,0 +1,301 @@
+"""Declarative fault plans: what goes wrong, when, and how badly.
+
+A :class:`FaultPlan` is an immutable, picklable, hashable tuple of fault
+model entries.  It lives on the :class:`~repro.experiments.scenario.
+Scenario` (so it round-trips through ``peas-scenario/1`` JSON, hashes into
+the run manifest's ``config_hash``, and crosses process-pool boundaries in
+sweeps) and can also be loaded standalone from a ``peas-faultplan/1`` JSON
+file via ``peas-repro run --faults plan.json``.
+
+Five models, mapping onto the paper's robustness story:
+
+==================  =====================================================
+``crash``           §5.3's uniform Poisson process: one victim per
+                    arrival, drawn uniformly from the alive set
+``region_kill``     a spatially correlated disaster at ``at_s``: every
+                    sensor within ``radius_m`` of ``center`` dies at once
+                    (center drawn uniformly over the field when omitted)
+``transient_outage``nodes stunned (radio deaf, timers frozen) for an
+                    exponential duration, then restored as sleepers —
+                    §3's replacement dynamics, exercised both ways
+``bursty_loss``     a Gilbert–Elliott two-state loss overlay on the
+                    broadcast channel (:mod:`repro.net.loss`)
+``clock_drift``     per-node multiplicative skew on sleep/probe timers,
+                    drawn uniformly in ``1 ± max_skew``
+==================  =====================================================
+
+Every random choice any entry makes at run time is drawn from a named,
+per-entry stream of the run's :class:`~repro.sim.RngRegistry`
+(``faults.<index>.<kind>``), so identical seeds yield byte-identical fault
+schedules — and adding an entry never perturbs the draws of any other
+subsystem or entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, ClassVar, Dict, Optional, Tuple, Union
+
+__all__ = [
+    "FAULT_PLAN_SCHEMA",
+    "FAULT_KINDS",
+    "CrashFault",
+    "RegionKillFault",
+    "TransientOutageFault",
+    "BurstyLossFault",
+    "ClockDriftFault",
+    "FaultModel",
+    "FaultPlan",
+    "fault_plan_to_dict",
+    "fault_plan_from_dict",
+    "load_fault_plan",
+    "save_fault_plan",
+]
+
+FAULT_PLAN_SCHEMA = "peas-faultplan/1"
+
+
+def _require_window(start_s: float, end_s: Optional[float]) -> None:
+    if start_s < 0:
+        raise ValueError("start_s must be nonnegative")
+    if end_s is not None and end_s <= start_s:
+        raise ValueError("end_s must be after start_s")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """The §5.3 uniform Poisson crash process as a plan entry.
+
+    ``Scenario.failure_per_5000s`` is executed through this same model (as
+    an implicit entry on the legacy ``"failures"`` RNG stream); explicit
+    entries layer *additional* independent crash processes on top.
+    """
+
+    rate_per_5000s: float
+    kind: ClassVar[str] = "crash"
+
+    def __post_init__(self) -> None:
+        if self.rate_per_5000s < 0:
+            raise ValueError("rate_per_5000s must be nonnegative")
+
+
+@dataclass(frozen=True)
+class RegionKillFault:
+    """A correlated disaster: all sensors within a disk die at ``at_s``.
+
+    ``center=None`` draws the disaster's center uniformly over the field
+    at fire time (from this entry's own stream).
+    """
+
+    at_s: float
+    radius_m: float
+    center: Optional[Tuple[float, float]] = None
+    kind: ClassVar[str] = "region_kill"
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("at_s must be nonnegative")
+        if self.radius_m <= 0:
+            raise ValueError("radius_m must be positive")
+        if self.center is not None:
+            center = tuple(float(c) for c in self.center)
+            if len(center) != 2:
+                raise ValueError("center must be an (x, y) pair")
+            object.__setattr__(self, "center", center)
+
+
+@dataclass(frozen=True)
+class TransientOutageFault:
+    """A Poisson process of temporary node outages.
+
+    At each arrival one alive node is stunned — radio deaf, protocol
+    timers cancelled, battery at sleep draw — for an exponential duration
+    with mean ``mean_outage_s``, then restored as an ordinary sleeper.
+    Arrivals that land on an already-stunned node are no-ops.
+    """
+
+    rate_per_5000s: float
+    mean_outage_s: float
+    kind: ClassVar[str] = "transient_outage"
+
+    def __post_init__(self) -> None:
+        if self.rate_per_5000s < 0:
+            raise ValueError("rate_per_5000s must be nonnegative")
+        if self.mean_outage_s <= 0:
+            raise ValueError("mean_outage_s must be positive")
+
+
+@dataclass(frozen=True)
+class BurstyLossFault:
+    """A Gilbert–Elliott two-state loss overlay on the broadcast channel.
+
+    Active between ``start_s`` and ``end_s`` (``None``: until the end of
+    the run); layered on top of the scenario's i.i.d. ``loss_rate``.  At
+    most one per plan (the channel has a single overlay slot).
+    """
+
+    good_mean_s: float
+    bad_mean_s: float
+    good_loss: float = 0.0
+    bad_loss: float = 0.8
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    kind: ClassVar[str] = "bursty_loss"
+
+    def __post_init__(self) -> None:
+        if self.good_mean_s <= 0 or self.bad_mean_s <= 0:
+            raise ValueError("state sojourn means must be positive")
+        for name in ("good_loss", "bad_loss"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+        _require_window(self.start_s, self.end_s)
+
+    def average_loss(self) -> float:
+        """The stationary per-frame loss probability while active."""
+        total = self.good_mean_s + self.bad_mean_s
+        return (
+            self.good_mean_s * self.good_loss + self.bad_mean_s * self.bad_loss
+        ) / total
+
+
+@dataclass(frozen=True)
+class ClockDriftFault:
+    """Per-node multiplicative clock skew on locally-timed delays.
+
+    Each sensor's skew is drawn once, uniformly in ``[1 - max_skew,
+    1 + max_skew]``, and applied to its sleep durations, probe offsets and
+    listening window for the whole run.
+    """
+
+    max_skew: float
+    kind: ClassVar[str] = "clock_drift"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_skew < 1.0:
+            raise ValueError("max_skew must be in (0, 1)")
+
+
+FaultModel = Union[
+    CrashFault,
+    RegionKillFault,
+    TransientOutageFault,
+    BurstyLossFault,
+    ClockDriftFault,
+]
+
+_MODEL_TYPES: Tuple[type, ...] = (
+    CrashFault,
+    RegionKillFault,
+    TransientOutageFault,
+    BurstyLossFault,
+    ClockDriftFault,
+)
+
+#: registered model kinds, in declaration order (mirrored by the trace
+#: schema's fault-event ``kind`` enum)
+FAULT_KINDS: Tuple[str, ...] = tuple(cls.kind for cls in _MODEL_TYPES)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable collection of fault-model entries.
+
+    The entry *index* is load-bearing: it names the entry's RNG stream
+    (``faults.<index>.<kind>``) and its trace id (``fault<index>``), so
+    reordering a plan changes the realized schedule (by design — the plan
+    is part of the experiment's parameterization).
+    """
+
+    entries: Tuple[FaultModel, ...] = ()
+
+    def __post_init__(self) -> None:
+        entries = tuple(self.entries)
+        for entry in entries:
+            if not isinstance(entry, _MODEL_TYPES):
+                raise TypeError(
+                    f"fault plan entries must be fault models, got {entry!r}"
+                )
+        if sum(1 for e in entries if isinstance(e, BurstyLossFault)) > 1:
+            raise ValueError("at most one bursty_loss entry per plan")
+        object.__setattr__(self, "entries", entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def with_entry(self, entry: FaultModel) -> "FaultPlan":
+        """A copy with ``entry`` appended."""
+        return FaultPlan(self.entries + (entry,))
+
+    def kinds(self) -> Tuple[str, ...]:
+        """The model kind of each entry, in plan order."""
+        return tuple(entry.kind for entry in self.entries)
+
+
+# --------------------------------------------------------------------------
+# JSON (de)serialization: the ``peas-faultplan/1`` wire format.
+# --------------------------------------------------------------------------
+def _entry_to_dict(entry: FaultModel) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"kind": entry.kind}
+    for spec in dataclasses.fields(entry):
+        value = getattr(entry, spec.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        payload[spec.name] = value
+    return payload
+
+
+def _entry_from_dict(payload: Dict[str, Any]) -> FaultModel:
+    if not isinstance(payload, dict):
+        raise ValueError(f"fault entry must be an object, got {payload!r}")
+    kind = payload.get("kind")
+    args = {key: value for key, value in payload.items() if key != "kind"}
+    if kind == CrashFault.kind:
+        return CrashFault(**args)
+    if kind == RegionKillFault.kind:
+        center = args.get("center")
+        if center is not None:
+            args["center"] = tuple(center)
+        return RegionKillFault(**args)
+    if kind == TransientOutageFault.kind:
+        return TransientOutageFault(**args)
+    if kind == BurstyLossFault.kind:
+        return BurstyLossFault(**args)
+    if kind == ClockDriftFault.kind:
+        return ClockDriftFault(**args)
+    raise ValueError(
+        f"unknown fault kind {kind!r}; registered: {list(FAULT_KINDS)}"
+    )
+
+
+def fault_plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """A JSON-compatible dictionary capturing the full plan."""
+    return {
+        "schema": FAULT_PLAN_SCHEMA,
+        "entries": [_entry_to_dict(entry) for entry in plan.entries],
+    }
+
+
+def fault_plan_from_dict(payload: Dict[str, Any]) -> FaultPlan:
+    """Inverse of :func:`fault_plan_to_dict` (validates the schema marker)."""
+    schema = payload.get("schema")
+    if schema != FAULT_PLAN_SCHEMA:
+        raise ValueError(f"unsupported fault-plan schema {schema!r}")
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list):
+        raise ValueError("fault-plan 'entries' must be a list")
+    return FaultPlan(tuple(_entry_from_dict(entry) for entry in entries))
+
+
+def load_fault_plan(path: Union[str, Path]) -> FaultPlan:
+    """Read a ``peas-faultplan/1`` JSON file."""
+    return fault_plan_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_fault_plan(plan: FaultPlan, path: Union[str, Path]) -> None:
+    """Write a plan as ``peas-faultplan/1`` JSON."""
+    Path(path).write_text(json.dumps(fault_plan_to_dict(plan), indent=1))

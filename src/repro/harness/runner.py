@@ -18,9 +18,13 @@ from typing import Callable, Optional
 
 from ..baselines.gaps import CellGapMonitor
 from ..coverage import CoverageGrid, CoverageTracker
-from ..experiments.metrics import RunResult
+from ..experiments.metrics import (
+    RunResult,
+    recovery_after_faults,
+    recovery_extras,
+)
 from ..experiments.scenario import Scenario
-from ..failures import FailureInjector, per_5000s
+from ..faults import FaultEngine
 from ..obs import build_manifest
 from ..obs.tracer import Tracer
 from ..protocols import BaselineRun, ProtocolRun, get_protocol
@@ -175,22 +179,29 @@ def _run(
             path_hook=protocol.report_path_hook(scenario),
         )
 
-    # --- failure injection -------------------------------------------------
-    injector = FailureInjector(
+    # --- fault injection ---------------------------------------------------
+    # The §5.3 crash process plus the scenario's declarative fault plan
+    # (region kills, outages, bursty loss, clock drift), all on named RNG
+    # streams.  ``prepare`` must precede ``protocol.start()``: clock skews
+    # have to be in place before nodes draw their first sleep intervals.
+    faults = FaultEngine(
         sim,
-        rate_hz=per_5000s(scenario.failure_per_5000s),
-        alive_provider=network.alive_ids,
-        kill=network.kill,
-        rng=rngs.stream("failures"),
+        network,
+        scenario.fault_plan,
+        rngs,
+        ambient_crash_per_5000s=scenario.failure_per_5000s,
+        field_size=scenario.field_size,
+        capabilities=protocol.fault_capabilities(),
         tracer=tracer,
     )
+    faults.prepare()
 
     # --- run ----------------------------------------------------------------
     protocol.start()
     tracker.start()
     if traffic is not None:
         traffic.start()
-    injector.start()
+    faults.start()
     while not network.all_dead and sim.now < scenario.max_time_s:
         sim.run(until=sim.now + scenario.run_chunk_s)
     tracker.stop()
@@ -210,7 +221,7 @@ def _run(
         energy_total_j=energy.total_consumed_j,
         energy_overhead_j=protocol.energy_overhead_j(energy),
         energy_by_category=dict(energy.by_category),
-        failures_injected=injector.failures_injected,
+        failures_injected=faults.failures_injected,
         counters=network.counters.as_dict(),
         channel_counters=protocol.channel_counters(),
     )
@@ -220,6 +231,19 @@ def _run(
         if traffic is not None:
             for name in traffic.series.names():
                 result.series[name] = traffic.series.samples(name)
+    fire_times = faults.fire_times
+    if fire_times:
+        # Resilience metrics (extras stay empty for the empty plan, keeping
+        # no-fault runs byte-identical): how the lowest-K coverage fraction
+        # weathered each plan-fault strike.
+        k = min(scenario.coverage_ks)
+        recoveries = recovery_after_faults(
+            tracker.series.samples(f"coverage_{k}"),
+            fire_times,
+            scenario.lifetime_threshold,
+        )
+        result.extras["faults_fired"] = float(len(fire_times))
+        result.extras.update(recovery_extras(recoveries))
     if gap_monitor is not None:
         result.extras["gap_count"] = float(gap_monitor.gap_count())
         result.extras["gap_mean_s"] = gap_monitor.mean_gap()

@@ -61,6 +61,8 @@ SIM_SCOPED_PREFIXES = (
     "repro/coverage/",
     "repro/sensing/",
     "repro/baselines/",
+    "repro/failures/",
+    "repro/faults/",
 )
 
 

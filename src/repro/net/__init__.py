@@ -20,6 +20,7 @@ from .deployment import (
     uniform_deployment,
 )
 from .field import Field, Point, distance, distance_sq
+from .loss import GilbertElliottLoss
 from .mac import (
     probe_arrival_offset,
     probe_offsets,
@@ -53,6 +54,7 @@ __all__ = [
     "BroadcastChannel",
     "RadioEndpoint",
     "Reception",
+    "GilbertElliottLoss",
     "reply_backoff",
     "spread_transmissions",
     "probe_offsets",

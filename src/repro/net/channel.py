@@ -13,7 +13,11 @@ captures the phenomena the paper's design explicitly reacts to:
 * **half duplex** — a node transmitting a frame cannot simultaneously
   receive one;
 * **i.i.d. random loss** — the §4 loss-compensation experiments inject
-  loss rates up to ~10-20 %.
+  loss rates up to ~10-20 %;
+* **bursty loss** — an optional Gilbert–Elliott overlay
+  (:mod:`repro.net.loss`), attached by the fault-injection subsystem via
+  ``channel.loss_process``, models time-correlated interference on top of
+  the i.i.d. floor.
 
 Energy is charged through an optional hook so the energy model can attribute
 per-frame costs to overhead categories (Table 1 accounting).
@@ -131,6 +135,12 @@ class BroadcastChannel:
         #: the tracer — one ``is not None`` test per transmit when attached,
         #: nothing at all otherwise
         self.sanitizer = None
+        #: optional correlated-loss overlay (:class:`repro.net.loss.
+        #: GilbertElliottLoss`), layered *on top of* the i.i.d. model and
+        #: consulted after it; ``None`` (the default) costs one ``is not
+        #: None`` test per delivered frame and keeps the channel's own RNG
+        #: draw sequence untouched — the overlay owns its stream.
+        self.loss_process = None
         self.counters = CounterSet()
         self._endpoints: Dict[Hashable, RadioEndpoint] = {}
         #: receiver id -> {packet uid: in-flight reception at that receiver}
@@ -297,6 +307,7 @@ class BroadcastChannel:
         energy_hook = self.energy_hook
         tracer = self.tracer
         loss_rate = self.loss_rate
+        loss_process = self.loss_process
         rng = self.rng
         radio = self.radio
         # The stock radio without irregularity is a pure power law; inlining
@@ -332,6 +343,13 @@ class BroadcastChannel:
                 if tracer is not None:
                     tracer.emit(
                         trace_events.drop(self.sim.now, node_id, "random")
+                    )
+                continue
+            if loss_process is not None and loss_process.drop(self.sim.now):
+                incr("bursty_losses")
+                if tracer is not None:
+                    tracer.emit(
+                        trace_events.drop(self.sim.now, node_id, "bursty")
                     )
                 continue
             dist = reception.dist

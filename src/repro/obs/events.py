@@ -19,7 +19,14 @@ published contract):
 ``rate``          a sleeper applied eq. (2) to its wakeup rate
 ``fail``          the failure injector killed a node
 ``energy``        an energy-accounting category was charged
+``fault_arm``     a fault-plan entry was armed (scheduled) by the engine
+``fault_fire``    a fault-plan entry struck (victims = nodes affected)
+``fault_clear``   a fired fault ended (e.g. a transient outage restored)
 ================  ======================================================
+
+Fault lifecycle events carry the plan-entry id (``"fault0"``,
+``"fault1"``, ...) in the ``node`` envelope slot — the acting entity is
+the fault, not any one sensor — plus the entry's model ``kind``.
 """
 
 from __future__ import annotations
@@ -37,6 +44,9 @@ __all__ = [
     "RATE",
     "FAIL",
     "ENERGY",
+    "FAULT_ARM",
+    "FAULT_FIRE",
+    "FAULT_CLEAR",
     "EVENT_TYPES",
     "state",
     "probe_tx",
@@ -47,6 +57,9 @@ __all__ = [
     "rate",
     "fail",
     "energy",
+    "fault_arm",
+    "fault_fire",
+    "fault_clear",
     "encode_event",
 ]
 
@@ -59,6 +72,9 @@ LAMBDA_HAT = "lambda_hat"
 RATE = "rate"
 FAIL = "fail"
 ENERGY = "energy"
+FAULT_ARM = "fault_arm"
+FAULT_FIRE = "fault_fire"
+FAULT_CLEAR = "fault_clear"
 
 EVENT_TYPES = (
     STATE,
@@ -70,6 +86,9 @@ EVENT_TYPES = (
     RATE,
     FAIL,
     ENERGY,
+    FAULT_ARM,
+    FAULT_FIRE,
+    FAULT_CLEAR,
 )
 
 
@@ -137,6 +156,22 @@ def fail(t: float, node: Hashable) -> Dict:
 def energy(t: float, node: Hashable, cat: str, joules: float) -> Dict:
     """``joules`` were charged to accounting category ``cat`` at ``node``."""
     return {"t": t, "ev": ENERGY, "node": node, "cat": cat, "j": joules}
+
+
+def fault_arm(t: float, fault: str, kind: str) -> Dict:
+    """Fault-plan entry ``fault`` (of model ``kind``) armed its process."""
+    return {"t": t, "ev": FAULT_ARM, "node": fault, "kind": kind}
+
+
+def fault_fire(t: float, fault: str, kind: str, victims: int) -> Dict:
+    """Entry ``fault`` struck, affecting ``victims`` nodes at once."""
+    return {"t": t, "ev": FAULT_FIRE, "node": fault, "kind": kind, "victims": victims}
+
+
+def fault_clear(t: float, fault: str, kind: str) -> Dict:
+    """A fired instance of entry ``fault`` ended (outage restored, window
+    closed); instantaneous models never emit this."""
+    return {"t": t, "ev": FAULT_CLEAR, "node": fault, "kind": kind}
 
 
 def encode_event(event: Dict) -> str:

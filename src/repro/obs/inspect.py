@@ -18,7 +18,13 @@ from .schema import iter_trace_file
 __all__ = ["TraceSummary", "summarize_trace", "summarize_trace_file", "render_summary"]
 
 #: single-letter mode tags for compact timelines
-_MODE_TAGS = {"sleeping": "S", "probing": "P", "working": "W", "dead": "D"}
+_MODE_TAGS = {
+    "sleeping": "S",
+    "probing": "P",
+    "working": "W",
+    "stunned": "X",
+    "dead": "D",
+}
 
 
 @dataclass
@@ -43,6 +49,11 @@ class TraceSummary:
     collisions: int = 0
     drops: Dict[str, int] = field(default_factory=dict)
     failures: List[Tuple[float, Hashable]] = field(default_factory=list)
+    #: fault id -> model kind, from ``fault_arm`` events
+    fault_arms: Dict[str, str] = field(default_factory=dict)
+    #: (t, fault id, kind, victims) per ``fault_fire``, in emission order
+    fault_fires: List[Tuple[float, str, str, int]] = field(default_factory=list)
+    fault_clears: int = 0
 
     @property
     def nodes(self) -> List[Hashable]:
@@ -74,6 +85,27 @@ class TraceSummary:
             (node, self.probes.get(node, 0), self.replies.get(node, 0))
             for node, _ in totals.most_common(limit)
         ]
+
+    def fault_recoveries(self) -> List[Tuple[float, Optional[float]]]:
+        """Empirical §3 replacement delay per fault strike.
+
+        For each ``fault_fire`` instant, the delay until *any* node next
+        enters Working — the trace-level counterpart of the analytical
+        replacement-delay bound (``None``: no working start followed).
+        """
+        if not self.fault_fires:
+            return []
+        working_starts = sorted(
+            t
+            for transitions in self.transitions.values()
+            for t, _src, dst, _cause in transitions
+            if dst == "working"
+        )
+        recoveries: List[Tuple[float, Optional[float]]] = []
+        for t0, _fid, _kind, _victims in self.fault_fires:
+            delay = next((t - t0 for t in working_starts if t > t0), None)
+            recoveries.append((t0, delay))
+        return recoveries
 
 
 def summarize_trace(events: Iterable[Dict]) -> TraceSummary:
@@ -112,6 +144,14 @@ def summarize_trace(events: Iterable[Dict]) -> TraceSummary:
             summary.drops[why] = summary.drops.get(why, 0) + 1
         elif ev_type == ev.FAIL:
             summary.failures.append((t, node))
+        elif ev_type == ev.FAULT_ARM:
+            summary.fault_arms[node] = event["kind"]
+        elif ev_type == ev.FAULT_FIRE:
+            summary.fault_fires.append(
+                (t, node, event["kind"], event["victims"])
+            )
+        elif ev_type == ev.FAULT_CLEAR:
+            summary.fault_clears += 1
     summary.by_type = dict(by_type)
     return summary
 
@@ -128,7 +168,7 @@ def _timeline_line(
     durations = summary.mode_durations(node)
     budget = " ".join(
         f"{_MODE_TAGS[mode]}:{durations[mode]:.0f}s"
-        for mode in ("sleeping", "probing", "working", "dead")
+        for mode in ("sleeping", "probing", "working", "stunned", "dead")
         if durations.get(mode, 0.0) > 0.0
     )
     transitions = summary.transitions.get(node, [])
@@ -167,6 +207,34 @@ def render_summary(
             f"  failures injected: {len(summary.failures)} "
             f"(first: node {first[1]} @ {first[0]:.0f}s)"
         )
+
+    if summary.fault_arms or summary.fault_fires:
+        lines.append("")
+        lines.append("fault plan:")
+        for fault_id in sorted(summary.fault_arms):
+            lines.append(f"  {fault_id}: {summary.fault_arms[fault_id]} armed")
+        recoveries = summary.fault_recoveries()
+        max_fires = 12
+        shown_fires = summary.fault_fires[:max_fires]
+        for (t, fault_id, kind, victims), (_t0, delay) in zip(
+            shown_fires, recoveries
+        ):
+            recovered = (
+                f"next working start +{delay:.1f}s"
+                if delay is not None
+                else "no working start after"
+            )
+            lines.append(
+                f"  {fault_id} fired @ {t:.0f}s ({kind}, victims={victims}; "
+                f"{recovered})"
+            )
+        if len(summary.fault_fires) > max_fires:
+            lines.append(
+                f"  ... {len(summary.fault_fires) - max_fires} more fires "
+                f"elided ..."
+            )
+        if summary.fault_clears:
+            lines.append(f"  fault clears (restores): {summary.fault_clears}")
 
     talkers = summary.top_talkers()
     if talkers:

@@ -40,10 +40,17 @@ _REQUIRED: Dict[str, Tuple[Tuple[str, tuple], ...]] = {
     ev.RATE: (("old_hz", _NUMBER), ("new_hz", _NUMBER), ("lam", _NUMBER)),
     ev.FAIL: (),
     ev.ENERGY: (("cat", (str,)), ("j", _NUMBER)),
+    ev.FAULT_ARM: (("kind", (str,)),),
+    ev.FAULT_FIRE: (("kind", (str,)), ("victims", (int,))),
+    ev.FAULT_CLEAR: (("kind", (str,)),),
 }
 
-_STATE_NAMES = ("sleeping", "probing", "working", "dead")
-_DROP_REASONS = ("half_duplex", "random", "aborted")
+_STATE_NAMES = ("sleeping", "probing", "working", "stunned", "dead")
+_DROP_REASONS = ("half_duplex", "random", "bursty", "aborted")
+#: the registered fault models (``kind`` of every fault lifecycle event)
+_FAULT_KINDS = (
+    "crash", "region_kill", "transient_outage", "bursty_loss", "clock_drift"
+)
 
 
 def _variant(ev_type: str, extra: Dict) -> Dict:
@@ -98,6 +105,12 @@ TRACE_EVENT_SCHEMA: Dict = {
             "cat": {"type": "string"},
             "j": {"type": "number", "minimum": 0},
         }),
+        _variant(ev.FAULT_ARM, {"kind": {"enum": list(_FAULT_KINDS)}}),
+        _variant(ev.FAULT_FIRE, {
+            "kind": {"enum": list(_FAULT_KINDS)},
+            "victims": {"type": "integer", "minimum": 0},
+        }),
+        _variant(ev.FAULT_CLEAR, {"kind": {"enum": list(_FAULT_KINDS)}}),
     ],
 }
 
@@ -132,6 +145,12 @@ def validate_event(event: object) -> Optional[str]:
                 return f"state: {key!r} must be one of {_STATE_NAMES}, got {event[key]!r}"
     elif ev_type == ev.DROP and event["why"] not in _DROP_REASONS:
         return f"drop: 'why' must be one of {_DROP_REASONS}, got {event['why']!r}"
+    elif ev_type in (ev.FAULT_ARM, ev.FAULT_FIRE, ev.FAULT_CLEAR):
+        if event["kind"] not in _FAULT_KINDS:
+            return (
+                f"{ev_type}: 'kind' must be one of {_FAULT_KINDS}, "
+                f"got {event['kind']!r}"
+            )
     allowed = {"t", "ev", "node"} | {name for name, _ in fields}
     if ev_type == ev.STATE:
         allowed |= {"cause", "rate_hz"}

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, FrozenSet, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..energy import EnergyReport
@@ -76,6 +76,17 @@ class ProtocolRun(ABC):
     def mac_layout(self, scenario: "Scenario") -> Optional[Dict[str, Any]]:
         """Control-plane MAC window layout for the manifest (``None``: n/a)."""
         return None
+
+    def fault_capabilities(self) -> FrozenSet[str]:
+        """Fault-plan model kinds this protocol can run under.
+
+        Every network exposes ``kill``/``alive_ids``, so crashes and
+        region kills always apply; the radio-level and timer-level models
+        (bursty loss, transient outage, clock drift) need a channel and
+        stun/skew-capable nodes, which only some protocols have.  The
+        fault engine rejects unsupported plan entries at construction.
+        """
+        return frozenset({"crash", "region_kill"})
 
 
 #: Builds an adapter for one scenario on a fresh simulator/RNG registry.

@@ -7,7 +7,7 @@ re-exports it) constructs the deployed :class:`~repro.core.PEASNetwork`;
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, FrozenSet, Optional
 
 from ..core import PEASNetwork
 from ..net import PACKET_SIZE_BYTES, DEPLOYMENTS, Field, RadioModel
@@ -115,6 +115,13 @@ class PeasRun(ProtocolRun):
                     peer.on_energy_charged()
 
         return path_hook
+
+    def fault_capabilities(self) -> FrozenSet[str]:
+        # PEAS nodes are stun/skew-capable and own a broadcast channel:
+        # every registered fault model applies.
+        from ..faults.plan import FAULT_KINDS
+
+        return frozenset(FAULT_KINDS)
 
     def mac_layout(self, scenario: "Scenario") -> Dict[str, Any]:
         config = scenario.config

@@ -88,6 +88,20 @@ class TestGoldenTrace:
         assert trace.read_bytes() == golden[0]
         assert (tmp_path / "harness.manifest.json").exists()
 
+    def test_empty_fault_plan_is_byte_identical(self, golden, tmp_path):
+        # The fault subsystem's no-op guarantee: a scenario carrying an
+        # explicitly-empty FaultPlan emits no fault events and perturbs
+        # no RNG stream, so its trace matches the golden byte-for-byte.
+        from repro.faults import FaultPlan
+
+        trace = tmp_path / "emptyplan.ndjson"
+        tracer = Tracer(NdjsonSink(trace))
+        try:
+            run_scenario(TINY.with_(fault_plan=FaultPlan()), tracer=tracer)
+        finally:
+            tracer.close()
+        assert trace.read_bytes() == golden[0]
+
     def test_sweep_path_is_byte_identical(self, golden, tmp_path):
         # Serial run_sweep with a templated trace path runs the same
         # harness code pooled workers do; its trace must match too.

@@ -1,0 +1,70 @@
+"""Property-based tests for the fault models.
+
+The Gilbert–Elliott channel's empirical loss frequency must converge on
+the analytical stationary average ``(g·p_g + b·p_b)/(g + b)`` for any
+parameterization — the property that keeps bursty-loss scenarios honest
+about their configured average severity.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import BurstyLossFault
+from repro.net.loss import GilbertElliottLoss
+
+means = st.floats(min_value=5.0, max_value=50.0,
+                  allow_nan=False, allow_infinity=False)
+loss_probs = st.floats(min_value=0.0, max_value=0.95,
+                       allow_nan=False, allow_infinity=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestGilbertElliottStationarity:
+    @settings(max_examples=25, deadline=None)
+    @given(good_mean=means, bad_mean=means, good_loss=loss_probs,
+           bad_loss=loss_probs, seed=seeds)
+    def test_empirical_loss_converges_to_stationary_average(
+        self, good_mean, bad_mean, good_loss, bad_loss, seed
+    ):
+        loss = GilbertElliottLoss(
+            good_mean, bad_mean, good_loss, bad_loss, random.Random(seed)
+        )
+        # Unit-spaced samples over >= 600 expected sojourn cycles: the
+        # occupancy estimator's own std is ~1/sqrt(cycles) < 0.05.
+        samples = 60_000
+        dropped = sum(loss.drop(float(t)) for t in range(samples))
+        expected = loss.average_loss()
+        assert abs(dropped / samples - expected) < 0.06
+
+    @settings(max_examples=25, deadline=None)
+    @given(good_mean=means, bad_mean=means, good_loss=loss_probs,
+           bad_loss=loss_probs)
+    def test_plan_entry_average_matches_process_average(
+        self, good_mean, bad_mean, good_loss, bad_loss
+    ):
+        entry = BurstyLossFault(
+            good_mean_s=good_mean, bad_mean_s=bad_mean,
+            good_loss=good_loss, bad_loss=bad_loss,
+        )
+        process = GilbertElliottLoss(
+            good_mean, bad_mean, good_loss, bad_loss, random.Random(0)
+        )
+        assert entry.average_loss() == process.average_loss()
+
+    @settings(max_examples=25, deadline=None)
+    @given(good_mean=means, bad_mean=means, good_loss=loss_probs,
+           bad_loss=loss_probs, seed=seeds)
+    def test_same_rng_same_outcomes(
+        self, good_mean, bad_mean, good_loss, bad_loss, seed
+    ):
+        times = [t * 1.3 for t in range(2_000)]
+        runs = []
+        for _ in range(2):
+            loss = GilbertElliottLoss(
+                good_mean, bad_mean, good_loss, bad_loss,
+                random.Random(seed),
+            )
+            runs.append([loss.drop(t) for t in times])
+        assert runs[0] == runs[1]

@@ -39,6 +39,14 @@ class TestParser:
         assert args.trace == "out.ndjson"
         assert args.profile
 
+    def test_run_faults_flag(self):
+        args = build_parser().parse_args(["run", "--faults", "plan.json"])
+        assert args.faults == "plan.json"
+        assert build_parser().parse_args(["run"]).faults is None
+
+    def test_robustness_command_exists(self):
+        assert build_parser().parse_args(["robustness"]).command == "robustness"
+
     def test_inspect_command(self):
         args = build_parser().parse_args(
             ["inspect", "trace.ndjson", "--validate", "--max-nodes", "5"]

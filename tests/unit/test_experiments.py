@@ -179,6 +179,81 @@ class TestRowBuilders:
         assert rows14[0][1] == pytest.approx(1000.0)
 
 
+class TestRecoveryMetrics:
+    def test_recovery_after_faults(self):
+        from repro.experiments import recovery_after_faults
+
+        samples = [(0.0, 0.95), (10.0, 0.95), (20.0, 0.70), (30.0, 0.80),
+                   (40.0, 0.92), (50.0, 0.95)]
+        (record,) = recovery_after_faults(samples, [15.0], threshold=0.90)
+        assert record.fault_time_s == 15.0
+        assert record.dip_depth == pytest.approx(0.20)
+        assert record.recovery_s == pytest.approx(25.0)
+
+    def test_unrecovered_fault(self):
+        from repro.experiments import recovery_after_faults
+
+        samples = [(10.0, 0.5), (20.0, 0.4)]
+        (record,) = recovery_after_faults(samples, [5.0], threshold=0.90)
+        assert record.recovery_s is None
+        assert record.dip_depth == pytest.approx(0.50)
+
+    def test_extras_summary(self):
+        from repro.experiments import recovery_after_faults, recovery_extras
+
+        samples = [(10.0, 0.5), (20.0, 0.95)]
+        extras = recovery_extras(
+            recovery_after_faults(samples, [5.0, 15.0], threshold=0.90)
+        )
+        assert extras["recovery_mean_s"] == pytest.approx(10.0)
+        assert extras["faults_unrecovered"] == 0.0
+        assert recovery_extras([]) == {}
+
+
+class TestRobustnessDefinitions:
+    def test_regimes_cover_every_model(self):
+        from repro.experiments import ROBUSTNESS_REGIMES
+        from repro.faults import FAULT_KINDS
+
+        kinds = set()
+        for _name, plan in ROBUSTNESS_REGIMES:
+            kinds.update(plan.kinds())
+        assert kinds == set(FAULT_KINDS)
+        assert ROBUSTNESS_REGIMES[0][1].is_empty  # baseline row anchors
+
+    def test_scenarios_regime_major_order(self):
+        from repro.experiments import ROBUSTNESS_REGIMES, robustness_scenarios
+
+        seeds = [0, 1]
+        scenarios = robustness_scenarios(seeds)
+        assert len(scenarios) == len(ROBUSTNESS_REGIMES) * len(seeds)
+        for index, (_name, plan) in enumerate(ROBUSTNESS_REGIMES):
+            for offset, seed in enumerate(seeds):
+                scenario = scenarios[index * len(seeds) + offset]
+                assert scenario.fault_plan == plan
+                assert scenario.seed == seed
+
+    def test_rows_report_failures_as_counts(self):
+        from repro.experiments import (
+            ROBUSTNESS_REGIMES,
+            RunError,
+            robustness_rows,
+        )
+
+        ok = result(extras={"coverage_dip_max": 0.2, "recovery_mean_s": 40.0})
+        error = RunError(
+            scenario=Scenario(num_nodes=10),
+            error_type="ValueError",
+            error_message="boom",
+            traceback_text="",
+        )
+        groups = {name: [ok, error] for name, _plan in ROBUSTNESS_REGIMES}
+        rows = robustness_rows(groups)
+        assert len(rows) == len(ROBUSTNESS_REGIMES)
+        assert all(row[1] == "1/2" for row in rows)
+        assert rows[0][3] == pytest.approx(0.2)
+
+
 class TestTables:
     def test_fmt_none(self):
         assert fmt(None) == "-"

@@ -54,12 +54,24 @@ class TestInjection:
         sim.run(until=2000.0)
         assert len(killed) == len(set(killed))  # never kills twice
 
-    def test_stops_when_population_empty(self):
+    def test_rearms_when_population_empty(self):
         sim, injector, alive, killed = make_injector(1.0, population=5)
         injector.start()
-        sim.run(until=10000.0)
+        sim.run(until=100.0)
         assert len(killed) == 5
-        assert sim.pending_events == 0  # process ended itself
+        # An empty arrival is a no-op, not a terminator: the process stays
+        # armed because transient outages can repopulate the alive set.
+        assert sim.pending_events == 1
+
+    def test_kills_resume_after_repopulation(self):
+        sim, injector, alive, killed = make_injector(1.0, population=5)
+        injector.start()
+        sim.run(until=100.0)
+        assert len(killed) == 5
+        alive.add(99)  # a restored node rejoins the population
+        sim.run(until=200.0)
+        assert 99 in killed
+        assert injector.failures_injected == 6
 
     def test_failure_times_recorded(self):
         sim, injector, alive, killed = make_injector(0.1, population=50)

@@ -1,0 +1,330 @@
+"""Unit tests for repro.faults: plans, serialization, models, the engine."""
+
+import json
+import random
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    BurstyLossFault,
+    ClockDriftFault,
+    CrashFault,
+    FaultEngine,
+    FaultPlan,
+    RegionKillFault,
+    TransientOutageFault,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
+    load_fault_plan,
+    save_fault_plan,
+)
+from repro.net.loss import GilbertElliottLoss
+from repro.sim import RngRegistry, Simulator
+
+from ..helpers import make_network
+
+
+def full_plan():
+    return FaultPlan((
+        CrashFault(rate_per_5000s=8.0),
+        RegionKillFault(at_s=100.0, radius_m=5.0, center=(10.0, 10.0)),
+        TransientOutageFault(rate_per_5000s=20.0, mean_outage_s=60.0),
+        BurstyLossFault(good_mean_s=40.0, bad_mean_s=8.0, bad_loss=0.7),
+        ClockDriftFault(max_skew=0.04),
+    ))
+
+
+class TestPlanValidation:
+    def test_empty_plan_default(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert plan.kinds() == ()
+
+    def test_with_entry_appends(self):
+        plan = FaultPlan().with_entry(CrashFault(rate_per_5000s=1.0))
+        assert not plan.is_empty
+        assert plan.kinds() == ("crash",)
+
+    def test_kinds_in_declaration_order(self):
+        assert FAULT_KINDS == (
+            "crash", "region_kill", "transient_outage", "bursty_loss",
+            "clock_drift",
+        )
+        assert full_plan().kinds() == FAULT_KINDS
+
+    def test_entries_must_be_models(self):
+        with pytest.raises(TypeError):
+            FaultPlan(("crash",))
+
+    def test_at_most_one_bursty_entry(self):
+        bursty = BurstyLossFault(good_mean_s=10.0, bad_mean_s=5.0)
+        with pytest.raises(ValueError, match="bursty_loss"):
+            FaultPlan((bursty, bursty))
+
+    def test_crash_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            CrashFault(rate_per_5000s=-1.0)
+
+    def test_region_kill_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            RegionKillFault(at_s=-1.0, radius_m=5.0)
+        with pytest.raises(ValueError):
+            RegionKillFault(at_s=0.0, radius_m=0.0)
+        with pytest.raises(ValueError):
+            RegionKillFault(at_s=0.0, radius_m=5.0, center=(1.0, 2.0, 3.0))
+
+    def test_outage_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            TransientOutageFault(rate_per_5000s=1.0, mean_outage_s=0.0)
+
+    def test_bursty_rejects_certain_loss(self):
+        with pytest.raises(ValueError):
+            BurstyLossFault(good_mean_s=10.0, bad_mean_s=5.0, bad_loss=1.0)
+        with pytest.raises(ValueError):
+            BurstyLossFault(good_mean_s=10.0, bad_mean_s=5.0,
+                            start_s=50.0, end_s=20.0)
+
+    def test_drift_bounds(self):
+        with pytest.raises(ValueError):
+            ClockDriftFault(max_skew=0.0)
+        with pytest.raises(ValueError):
+            ClockDriftFault(max_skew=1.0)
+
+    def test_bursty_average_loss_is_stationary_mix(self):
+        entry = BurstyLossFault(
+            good_mean_s=30.0, bad_mean_s=10.0, good_loss=0.1, bad_loss=0.7
+        )
+        assert entry.average_loss() == pytest.approx(
+            (30.0 * 0.1 + 10.0 * 0.7) / 40.0
+        )
+
+
+class TestPlanSerialization:
+    def test_round_trip_preserves_every_entry(self):
+        plan = full_plan()
+        payload = json.loads(json.dumps(fault_plan_to_dict(plan)))
+        assert fault_plan_from_dict(payload) == plan
+
+    def test_empty_plan_round_trips(self):
+        assert fault_plan_from_dict(fault_plan_to_dict(FaultPlan())) == FaultPlan()
+
+    def test_schema_marker_enforced(self):
+        with pytest.raises(ValueError, match="schema"):
+            fault_plan_from_dict({"entries": []})
+
+    def test_unknown_kind_rejected(self):
+        payload = {"schema": "peas-faultplan/1",
+                   "entries": [{"kind": "meteor"}]}
+        with pytest.raises(ValueError, match="meteor"):
+            fault_plan_from_dict(payload)
+
+    def test_file_round_trip(self, tmp_path):
+        plan = full_plan()
+        path = tmp_path / "plan.json"
+        save_fault_plan(plan, path)
+        assert load_fault_plan(path) == plan
+
+
+class TestGilbertElliott:
+    def make(self, **overrides):
+        kwargs = dict(good_mean_s=50.0, bad_mean_s=10.0, good_loss=0.0,
+                      bad_loss=0.9, rng=random.Random(11))
+        kwargs.update(overrides)
+        return GilbertElliottLoss(**kwargs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(good_mean_s=0.0)
+        with pytest.raises(ValueError):
+            self.make(bad_loss=1.0)
+        with pytest.raises(ValueError):
+            self.make(start_s=10.0, end_s=5.0)
+
+    def test_inactive_outside_window(self):
+        loss = self.make(bad_loss=0.9, good_loss=0.9,
+                         start_s=100.0, end_s=200.0)
+        assert not any(loss.drop(t) for t in (0.0, 50.0, 99.9))
+        assert not any(loss.drop(t) for t in (200.0, 500.0))
+        assert loss.drops == 0
+
+    def test_all_loss_states_drop_everything(self):
+        # With both states at p≈1 every in-window frame drops regardless
+        # of where the chain happens to be.
+        loss = self.make(good_loss=0.999, bad_loss=0.999)
+        outcomes = [loss.drop(float(t)) for t in range(1, 2000)]
+        assert sum(outcomes) >= 1990
+        assert loss.drops == sum(outcomes)
+
+    def test_empirical_loss_matches_stationary_average(self):
+        loss = self.make()
+        samples = 60_000
+        dropped = sum(loss.drop(t * 1.0) for t in range(samples))
+        assert dropped / samples == pytest.approx(
+            loss.average_loss(), abs=0.02
+        )
+
+    def test_bursts_are_correlated(self):
+        # Consecutive-sample agreement must exceed what an i.i.d. process
+        # with the same average loss rate would produce.
+        loss = self.make(good_loss=0.0, bad_loss=0.95)
+        outcomes = [loss.drop(t * 1.0) for t in range(40_000)]
+        p = sum(outcomes) / len(outcomes)
+        pairs = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a and b)
+        iid_pairs = p * p * (len(outcomes) - 1)
+        assert pairs > 2.0 * iid_pairs
+
+    def test_deterministic_given_rng(self):
+        a = self.make(rng=random.Random(5))
+        b = self.make(rng=random.Random(5))
+        times = [t * 0.7 for t in range(5000)]
+        assert [a.drop(t) for t in times] == [b.drop(t) for t in times]
+
+
+class TestFaultEngine:
+    def build(self, plan, seed=7, **engine_kwargs):
+        sim, network = make_network(num_nodes=30, seed=seed)
+        rngs = RngRegistry(seed=seed)
+        engine = FaultEngine(
+            sim, network, plan, rngs,
+            field_size=(20.0, 20.0), **engine_kwargs,
+        )
+        return sim, network, engine
+
+    def test_capability_rejection_at_construction(self):
+        plan = FaultPlan((TransientOutageFault(10.0, 50.0),))
+        with pytest.raises(ValueError, match="transient_outage"):
+            self.build(plan, capabilities=frozenset({"crash", "region_kill"}))
+
+    def test_empty_plan_schedules_nothing(self):
+        sim, network, engine = self.build(FaultPlan())
+        engine.prepare()
+        engine.start()
+        assert sim.pending_events == 0  # ambient rate 0: nothing armed
+        assert engine.failures_injected == 0
+        assert engine.fire_times == []
+
+    def test_region_kill_removes_disk_population(self):
+        plan = FaultPlan((
+            RegionKillFault(at_s=50.0, radius_m=8.0, center=(10.0, 10.0)),
+        ))
+        sim, network, engine = self.build(plan)
+        network.start()
+        engine.prepare()
+        engine.start()
+        before = len(network.alive_ids())
+        sim.run(until=60.0)
+        after = len(network.alive_ids())
+        assert engine.region_kills > 0
+        assert before - after == engine.region_kills
+        assert engine.fire_times == [50.0]
+        # Every node left alive is outside the disk.
+        for node_id in network.alive_ids():
+            x, y = network.nodes[node_id].position
+            assert (x - 10.0) ** 2 + (y - 10.0) ** 2 > 8.0 ** 2
+
+    def test_region_kill_random_center_is_seed_deterministic(self):
+        plan = FaultPlan((RegionKillFault(at_s=50.0, radius_m=8.0),))
+        survivors = []
+        for _ in range(2):
+            sim, network, engine = self.build(plan, seed=13)
+            network.start()
+            engine.prepare()
+            engine.start()
+            sim.run(until=60.0)
+            survivors.append(sorted(network.alive_ids()))
+        assert survivors[0] == survivors[1]
+
+    def test_transient_outage_stuns_and_restores(self):
+        plan = FaultPlan((
+            TransientOutageFault(rate_per_5000s=500.0, mean_outage_s=20.0),
+        ))
+        sim, network, engine = self.build(plan)
+        network.start()
+        engine.prepare()
+        engine.start()
+        sim.run(until=2000.0)
+        assert engine.outages > 0
+        assert engine.restores > 0
+        assert network.counters.get("outages") == engine.outages
+        assert network.counters.get("restores") == engine.restores
+        # Outages are not deaths.
+        assert engine.failures_injected == 0
+
+    def test_clock_drift_skews_all_sensors(self):
+        plan = FaultPlan((ClockDriftFault(max_skew=0.1),))
+        sim, network, engine = self.build(plan)
+        engine.prepare()
+        skews = [node.clock_skew for node in network.nodes.values()]
+        assert engine.nodes_skewed == len(skews)
+        assert all(0.9 <= s <= 1.1 for s in skews)
+        assert any(s != 1.0 for s in skews)
+
+    def test_bursty_overlay_attaches_to_channel(self):
+        plan = FaultPlan((
+            BurstyLossFault(good_mean_s=40.0, bad_mean_s=10.0, bad_loss=0.6),
+        ))
+        sim, network, engine = self.build(plan)
+        engine.prepare()
+        assert network.channel.loss_process is engine.loss_process
+        assert engine.loss_process.average_loss() == pytest.approx(
+            (40.0 * 0.0 + 10.0 * 0.6) / 50.0
+        )
+
+    def test_explicit_crash_entries_layer_on_ambient(self):
+        plan = FaultPlan((CrashFault(rate_per_5000s=5000.0),))
+        sim, network, engine = self.build(plan)
+        network.start()
+        engine.prepare()
+        engine.start()
+        sim.run(until=50.0)
+        assert engine.failures_injected > 0
+        assert engine.fire_times  # explicit crash deaths anchor recovery
+
+    def test_per_entry_streams_are_isolated(self):
+        # Adding a second entry must not change the first entry's draws:
+        # the region-kill victims are identical with and without the
+        # crash entry riding along (crash rate 0 so no extra deaths).
+        region = RegionKillFault(at_s=50.0, radius_m=8.0, center=(10.0, 10.0))
+        survivors = []
+        for plan in (
+            FaultPlan((region,)),
+            FaultPlan((region, CrashFault(rate_per_5000s=0.0))),
+        ):
+            sim, network, engine = self.build(plan, seed=21)
+            network.start()
+            engine.prepare()
+            engine.start()
+            sim.run(until=60.0)
+            survivors.append(sorted(network.alive_ids()))
+        assert survivors[0] == survivors[1]
+
+
+class TestStunRestore:
+    def test_stun_then_restore_cycles_through_sleeping(self):
+        sim, network = make_network(num_nodes=12, seed=5)
+        network.start()
+        sim.run(until=30.0)
+        node = next(
+            network.nodes[i] for i in sorted(network.alive_ids())
+        )
+        assert node.stun()
+        assert node.mode.value == "stunned"
+        assert not node.stun()  # idempotent: already stunned
+        assert node.restore()
+        assert node.mode.value == "sleeping"
+        assert not node.restore()  # only stunned nodes restore
+        sim.run(until=200.0)  # the restored sleeper keeps participating
+        assert network.counters.get("outages") == 1
+        assert network.counters.get("restores") == 1
+
+    def test_stunned_node_ignores_probes(self):
+        sim, network = make_network(num_nodes=12, seed=5)
+        network.start()
+        sim.run(until=30.0)
+        node = network.nodes[sorted(network.alive_ids())[0]]
+        node.stun()
+        sim.run(until=500.0)
+        # It neither transmitted nor died while stunned.
+        assert node.mode.value == "stunned"
+        assert node.alive
