@@ -2,9 +2,14 @@
 """Emit a ``BENCH_<date>.json`` perf report for the current tree.
 
 Runs the kernel microbenchmarks (the exact workloads behind
-``benchmarks/bench_kernel.py``) plus the Fig 9 deployment-sweep
-macro-benchmark (PEAS, N=480), and writes a JSON report so every PR leaves
-a perf trajectory to compare against.
+``benchmarks/bench_kernel.py``), the Fig 9 deployment-sweep macro-benchmark
+(PEAS, N=480), and a scaling curve (PEAS + the duty-cycle baseline at
+1k/10k/50k nodes on the paper's 50x50 field — growing density, traffic and
+failures off), and writes a JSON report so every PR leaves a perf
+trajectory to compare against.  ``--skip-micro --scaling-nodes 1000``
+(with ``--fail-on-regression``) is the CI smoke variant — scaling walls
+gate at 2x, which survives a machine change, where the 15 % micro gate
+would not; ``--skip-scaling`` drops the curve entirely.
 
 Usage::
 
@@ -38,20 +43,28 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.experiments.paper import bench_seeds  # noqa: E402
+from repro.net.columnar import backend_default  # noqa: E402
 from repro.perf import (  # noqa: E402
     KERNEL_WORKLOADS,
+    SCALING_NODE_COUNTS,
     SCHEMA,
     ab_measure,
     compare_micro,
+    compare_scaling,
     host_fingerprint,
     micro_rounds,
     peak_rss_mb,
     run_macro,
     run_micro,
+    run_scaling,
     write_report,
 )
 
 REGRESSION_THRESHOLD = 1.15  # >15 % slower than baseline = regression
+#: Scaling points are single long runs (no best-of-N), so they carry more
+#: machine noise than the micro rounds; only a halving of throughput is
+#: treated as a gate failure.
+SCALING_REGRESSION_THRESHOLD = 2.0
 
 
 def main(argv=None) -> int:
@@ -72,6 +85,24 @@ def main(argv=None) -> int:
         "--skip-macro",
         action="store_true",
         help="microbenchmarks only (used by the CI smoke job)",
+    )
+    parser.add_argument(
+        "--skip-micro",
+        action="store_true",
+        help="drop the kernel microbenchmarks: CI's scaling gate compares "
+        "wall times across machines, where the 15%% micro threshold is all "
+        "noise but the 2x scaling threshold still means something",
+    )
+    parser.add_argument(
+        "--scaling-nodes",
+        default=",".join(str(n) for n in SCALING_NODE_COUNTS),
+        metavar="N,N,...",
+        help="node counts for the scaling curve (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--skip-scaling",
+        action="store_true",
+        help="skip the scaling curve (it dominates full-report wall time)",
     )
     parser.add_argument(
         "--against",
@@ -102,6 +133,8 @@ def main(argv=None) -> int:
         help="exit 1 if a microbenchmark regressed >15%% vs --baseline",
     )
     args = parser.parse_args(argv)
+    if args.against is not None and args.skip_micro:
+        parser.error("--skip-micro cannot be combined with --against")
 
     # Keep the macro seed policy in lockstep with the paper sweeps.
     os.environ["REPRO_BENCH_SCALE"] = args.scale
@@ -111,13 +144,15 @@ def main(argv=None) -> int:
     output = args.output or REPO_ROOT / "benchmarks" / f"BENCH_{today}.json"
 
     print(f"[bench] scale={args.scale} rounds={rounds} macro_seeds={seeds}")
-    print(f"[bench] micro: {len(KERNEL_WORKLOADS)} kernel workloads ...")
-    micro = run_micro(KERNEL_WORKLOADS, rounds)
-    for name, stats in micro.items():
-        print(
-            f"[bench]   {name:34s} best {stats['best_ms']:8.2f} ms   "
-            f"median {stats['median_ms']:8.2f} ms"
-        )
+    micro = None
+    if not args.skip_micro:
+        print(f"[bench] micro: {len(KERNEL_WORKLOADS)} kernel workloads ...")
+        micro = run_micro(KERNEL_WORKLOADS, rounds)
+        for name, stats in micro.items():
+            print(
+                f"[bench]   {name:34s} best {stats['best_ms']:8.2f} ms   "
+                f"median {stats['median_ms']:8.2f} ms"
+            )
 
     macro = None
     if not args.skip_macro:
@@ -125,14 +160,35 @@ def main(argv=None) -> int:
         macro = run_macro(num_nodes=480, seeds=seeds)
         print(f"[bench]   wall {macro['wall_s_total']:.2f} s total")
 
+    scaling_nodes = sorted(
+        int(n) for n in args.scaling_nodes.split(",") if n.strip()
+    )
+    scaling = None
+    if not args.skip_scaling:
+        print(f"[bench] scaling: nodes {scaling_nodes}, peas + duty_cycle ...")
+        scaling = run_scaling(node_counts=scaling_nodes)
+        for point in scaling["points"]:
+            print(
+                f"[bench]   {point['protocol']:12s} N={point['num_nodes']:<6d} "
+                f"wall {point['wall_s']:8.2f} s"
+            )
+
     report = {
         "schema": SCHEMA,
         "date": today,
         "scale": args.scale,
+        "metadata": {
+            "backend": backend_default(),
+            "effective_scale": args.scale,
+            "scale_env": os.environ.get("REPRO_BENCH_SCALE"),
+            "macro_num_nodes": None if args.skip_macro else 480,
+            "scaling_nodes": None if args.skip_scaling else scaling_nodes,
+        },
         "host": host_fingerprint(),
         "micro_stat": "best_ms",
         "micro": micro,
         "macro": macro,
+        "scaling": scaling,
         "peak_rss_mb": round(peak_rss_mb(), 1),
     }
 
@@ -178,21 +234,45 @@ def main(argv=None) -> int:
         import json
 
         baseline = json.loads(args.baseline.read_text())
-        speedups = compare_micro(micro, baseline.get("micro", {}))
+        speedups = (
+            compare_micro(micro, baseline.get("micro") or {})
+            if micro is not None
+            else {}
+        )
         regressions = sorted(
             name for name, s in speedups.items() if s < 1.0 / REGRESSION_THRESHOLD
         )
+        scaling_speedups = {}
+        scaling_regressions = []
+        if scaling is not None and baseline.get("scaling"):
+            scaling_speedups = compare_scaling(scaling, baseline["scaling"])
+            scaling_regressions = sorted(
+                name
+                for name, s in scaling_speedups.items()
+                if s < 1.0 / SCALING_REGRESSION_THRESHOLD
+            )
         report["baseline_comparison"] = {
             "path": str(args.baseline),
             "date": baseline.get("date"),
             "micro_speedup": {k: round(v, 2) for k, v in speedups.items()},
             "regressions": regressions,
+            "scaling_speedup": {
+                k: round(v, 2) for k, v in scaling_speedups.items()
+            },
+            "scaling_regressions": scaling_regressions,
         }
         for name, speedup in sorted(speedups.items()):
             flag = "  REGRESSION" if name in regressions else ""
             print(f"[bench]   {name:34s} {speedup:5.2f}x vs baseline{flag}")
-        if regressions and args.fail_on_regression:
-            print(f"[bench] FAIL: {len(regressions)} regression(s): {regressions}")
+        for name, speedup in sorted(scaling_speedups.items()):
+            flag = "  REGRESSION" if name in scaling_regressions else ""
+            print(f"[bench]   scaling {name:26s} {speedup:5.2f}x vs baseline{flag}")
+        all_regressions = regressions + scaling_regressions
+        if all_regressions and args.fail_on_regression:
+            print(
+                f"[bench] FAIL: {len(all_regressions)} regression(s): "
+                f"{all_regressions}"
+            )
             exit_code = 1
 
     write_report(output, report)

@@ -38,7 +38,7 @@ from ..net import (
     Packet,
     Point,
     RadioModel,
-    SpatialGrid,
+    make_spatial_grid,
 )
 from ..sim import CounterSet, RngRegistry, Simulator
 from .config import PEASConfig
@@ -125,7 +125,7 @@ class PEASNetwork:
         validate_timing(config, self.radio)
 
         self.counters = CounterSet()
-        self.grid = SpatialGrid(field, cell_size=config.probe_range_m)
+        self.grid = make_spatial_grid(field, cell_size=config.probe_range_m)
         self.neighbors = NeighborCache(self.grid, enabled=neighbor_cache)
         self.channel = BroadcastChannel(
             sim,
@@ -253,13 +253,13 @@ class PEASNetwork:
     ) -> None:
         node = self.nodes[node_id]
         category = frame_category(packet.kind, direction)
-        node.battery.charge_frame(self.sim.now, direction, airtime, category)
+        remaining = node.battery.charge_frame(self.sim.now, direction, airtime, category)
         if self.tracer is not None:
             joules = node.battery.profile.frame_energy(direction, airtime)
             self.tracer.emit(
                 trace_events.energy(self.sim.now, node_id, category, joules)
             )
-        node.on_energy_charged()
+        node.on_energy_charged(remaining)
 
     def _node_started_working(self, node: PEASNode) -> None:
         self._working.add(node.node_id)

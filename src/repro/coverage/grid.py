@@ -64,10 +64,18 @@ class CoverageGrid:
         self._xs = np.arange(nx, dtype=np.float64) * resolution
         self._ys = np.arange(ny, dtype=np.float64) * resolution
         self._counts = np.zeros((nx, ny), dtype=np.int32)
+        #: row-major view over the same buffer; disk index arrays address it
+        self._counts_flat = self._counts.reshape(-1)
         self.num_points = nx * ny
         #: number of sample points covered by at least K nodes, K = 1..max_k
         self._num_ge = np.zeros(max_k + 1, dtype=np.int64)
         self._num_ge[0] = self.num_points
+        #: position -> flat lattice indices of its sensing disk.  Nodes are
+        #: stationary, so each position's disk geometry is computed exactly
+        #: once and every later add/remove is a pure gather/scatter.  The
+        #: index order equals the row-major order of the old mask gather,
+        #: keeping the bincount inputs (and so all counters) byte-identical.
+        self._disk_index: Dict[Point, np.ndarray] = {}
 
     # -------------------------------------------------------------- queries
     def fraction(self, k: int) -> float:
@@ -115,14 +123,28 @@ class CoverageGrid:
         mask = dx * dx + dy * dy <= r * r
         return (slice(x_lo, x_hi + 1), slice(y_lo, y_hi + 1)), mask
 
+    def _disk_flat_index(self, position: Point) -> np.ndarray:
+        """Flat (row-major) lattice indices inside ``position``'s disk."""
+        index = self._disk_index.get(position)
+        if index is None:
+            located = self._disk_slice(position)
+            if located is None:
+                index = np.empty(0, dtype=np.int64)
+            else:
+                (x_win, y_win), mask = located
+                xi, yi = np.nonzero(mask)
+                ny = len(self._ys)
+                index = (xi + x_win.start) * ny + (yi + y_win.start)
+            self._disk_index[position] = index
+        return index
+
     def _apply(self, position: Point, delta: int) -> None:
-        located = self._disk_slice(position)
-        if located is None:
+        flat = self._disk_flat_index(position)
+        if flat.size == 0:
             return
-        window, mask = located
-        block = self._counts[window]
-        before = block[mask]
-        if delta < 0 and before.size and before.min() <= 0:
+        counts = self._counts_flat
+        before = counts[flat]
+        if delta < 0 and before.min() <= 0:
             raise ValueError(
                 f"removing node at {position} would drive a coverage count negative"
             )
@@ -135,6 +157,4 @@ class CoverageGrid:
             self._num_ge[1:] += bins[: self.max_k]
         else:
             self._num_ge[1:] -= bins[1 : self.max_k + 1]
-        # ``block`` is a view into ``self._counts``; writing through the mask
-        # updates the backing array in place.
-        block[mask] = before + delta
+        counts[flat] = before + delta

@@ -36,6 +36,12 @@ class NodeBattery:
         self._remaining = float(initial_j)
         self._mode = RadioMode.SLEEP
         self._last_update = float(start_time)
+        #: continuous draw of the current mode, cached so the per-event
+        #: integration fast path skips the profile's mode dispatch
+        self._power_w = profile.mode_power(RadioMode.SLEEP)
+        #: per-(direction, airtime) frame energies; airtimes are quantized
+        #: (one per packet size) so this holds a handful of entries
+        self._frame_j: Dict[tuple, float] = {}
         #: accumulated joules by accounting category (e.g. "probe_tx")
         self.by_category: Dict[str, float] = {}
 
@@ -55,11 +61,16 @@ class NodeBattery:
     def depleted(self, now: float) -> bool:
         return self.remaining(now) <= 0.0
 
+    @property
+    def power_w(self) -> float:
+        """Continuous draw of the current mode in watts."""
+        return self._power_w
+
     def time_to_depletion(self, now: float) -> Optional[float]:
         """Seconds from ``now`` until the battery empties at the current
         mode draw, or ``None`` if the draw is zero (OFF mode)."""
         remaining = self.remaining(now)
-        power = self.profile.mode_power(self._mode)
+        power = self._power_w
         if power <= 0:
             return None
         return remaining / power
@@ -69,13 +80,25 @@ class NodeBattery:
         """Switch the continuous draw; past consumption is settled first."""
         self._integrate(now)
         self._mode = mode
+        self._power_w = self.profile.mode_power(mode)
 
-    def charge_frame(self, now: float, direction: str, airtime: float, category: str) -> None:
-        """Charge one frame's tx/rx energy and attribute it to ``category``."""
+    def charge_frame(self, now: float, direction: str, airtime: float, category: str) -> float:
+        """Charge one frame's tx/rx energy and attribute it to ``category``.
+
+        Returns the remaining charge so callers can react to depletion
+        without a second integration pass.
+        """
         self._integrate(now)
-        joules = self.profile.frame_energy(direction, airtime)
-        self._remaining = max(0.0, self._remaining - joules)
+        key = (direction, airtime)
+        joules = self._frame_j.get(key)
+        if joules is None:
+            joules = self._frame_j[key] = self.profile.frame_energy(direction, airtime)
+        remaining = self._remaining - joules
+        if remaining < 0.0:
+            remaining = 0.0
+        self._remaining = remaining
         self.by_category[category] = self.by_category.get(category, 0.0) + joules
+        return remaining
 
     def attribute(self, category: str, joules: float) -> None:
         """Attribute already-consumed energy to an accounting category
@@ -130,9 +153,10 @@ class NodeBattery:
             raise ValueError(
                 f"battery time went backwards: {now} < {self._last_update}"
             )
-        power = self.profile.mode_power(self._mode)
+        power = self._power_w
         if power > 0:
-            self._remaining = max(0.0, self._remaining - power * (now - self._last_update))
+            remaining = self._remaining - power * (now - self._last_update)
+            self._remaining = remaining if remaining > 0.0 else 0.0
         self._last_update = now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -47,6 +47,20 @@ HOT_FUNCTIONS: Dict[str, FrozenSet[str]] = {
     "repro/net/channel.py": frozenset({
         "BroadcastChannel.transmit", "BroadcastChannel._complete",
     }),
+    "repro/net/columnar.py": frozenset({
+        "ColumnarSpatialGrid.query_rows",
+        "ColumnarSpatialGrid.within",
+        "ColumnarSpatialGrid.nearest",
+    }),
+    "repro/net/neighbors.py": frozenset({
+        "NeighborCache.columnar_entry",
+        "NeighborCache.neighbors_with_distance",
+        "NeighborCache._materialize",
+    }),
+    "repro/coverage/grid.py": frozenset({
+        "CoverageGrid._apply",
+        "CoverageGrid._disk_flat_index",
+    }),
     "repro/core/node.py": frozenset({
         "PEASNode._wake",
         "PEASNode._send_probe",

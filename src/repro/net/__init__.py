@@ -12,6 +12,12 @@ This package implements everything below the PEAS protocol:
 """
 
 from .channel import BroadcastChannel, RadioEndpoint, Reception
+from .columnar import (
+    ColumnarNodeStore,
+    ColumnarSpatialGrid,
+    backend_default,
+    make_spatial_grid,
+)
 from .deployment import (
     DEPLOYMENTS,
     clustered_deployment,
@@ -41,6 +47,10 @@ __all__ = [
     "distance",
     "distance_sq",
     "SpatialGrid",
+    "ColumnarNodeStore",
+    "ColumnarSpatialGrid",
+    "backend_default",
+    "make_spatial_grid",
     "NeighborCache",
     "build_neighbor_lists",
     "DEPLOYMENTS",

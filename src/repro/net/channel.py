@@ -35,6 +35,8 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Protocol
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs pulls net)
     from ..obs.tracer import Tracer
 
@@ -52,9 +54,16 @@ __all__ = ["BroadcastChannel", "RadioEndpoint", "Reception"]
 #: energy hook signature: (node_id, "tx" | "rx", airtime_seconds, packet)
 EnergyHook = Callable[[Hashable, str, float, Packet], None]
 
-
 class RadioEndpoint(Protocol):
-    """What the channel needs to know about an attached node."""
+    """What the channel needs to know about an attached node.
+
+    Endpoints that keep the columnar store's ``listening`` column current
+    (by calling :meth:`BroadcastChannel.note_listening` on every radio
+    state change) declare ``publishes_listening = True``; the channel then
+    filters broadcast audiences with one vectorized mask instead of one
+    ``is_listening()`` call per candidate.  Endpoints without the attribute
+    are handled via the per-candidate path.
+    """
 
     @property
     def node_id(self) -> Hashable: ...
@@ -147,6 +156,16 @@ class BroadcastChannel:
         self._incoming: Dict[Hashable, Dict[int, Reception]] = {}
         #: node id -> absolute time its own transmission ends (half duplex)
         self._transmitting_until: Dict[Hashable, float] = {}
+        #: the grid's columnar store (None on the scalar backend).  The
+        #: half-duplex deadline is dual-written to ``store.tx_until`` so the
+        #: vectorized audience mask can read it as a column; the dict above
+        #: stays authoritative for the per-candidate paths, keeping both
+        #: backends on byte-identical bookkeeping.
+        self._store = getattr(grid, "store", None)
+        #: True while every attached endpoint keeps ``store.listening``
+        #: current via :meth:`note_listening`; one legacy endpoint flips
+        #: this off and large broadcasts fall back to per-candidate checks.
+        self._all_publish = True
         #: per-transmit memos (ranges are validated and airtimes computed
         #: once per distinct value, not once per frame)
         self._valid_ranges: Dict[float, float] = {}
@@ -161,6 +180,30 @@ class BroadcastChannel:
         self._endpoints[node_id] = endpoint
         if node_id not in self.grid:
             self.grid.insert(node_id, endpoint.position)
+        store = self._store
+        if store is not None:
+            if getattr(endpoint, "publishes_listening", False):
+                row = store.row_of[node_id]
+                flag = endpoint.is_listening()
+                store.listening[row] = flag
+                store.listening_py[row] = flag
+            else:
+                self._all_publish = False
+
+    def note_listening(self, node_id: Hashable, flag: bool) -> None:
+        """Endpoint radio-state publication (columnar backend).
+
+        Publishing endpoints call this on every ``is_listening()``
+        transition; the channel mirrors it into the store's ``listening``
+        column, which is what lets :meth:`transmit` mask whole audiences in
+        one vectorized step.  A no-op on the scalar backend.
+        """
+        store = self._store
+        if store is not None:
+            row = store.row_of.get(node_id)
+            if row is not None:
+                store.listening[row] = flag
+                store.listening_py[row] = flag
 
     def detach(self, node_id: Hashable) -> None:
         """Remove a (dead) node from the medium entirely.
@@ -221,9 +264,15 @@ class BroadcastChannel:
 
         # Half duplex: transmitting corrupts anything the sender was receiving
         # and blocks reception until the transmission ends.
+        store = self._store
         transmitting = self._transmitting_until
         prior = transmitting.get(sender_id, 0.0)
-        transmitting[sender_id] = end if end > prior else prior
+        deadline = end if end > prior else prior
+        transmitting[sender_id] = deadline
+        if store is not None:
+            sender_row = store.row_of[sender_id]
+            store.tx_until[sender_row] = deadline
+            store.tx_until_py[sender_row] = deadline
         own_incoming = self._incoming.get(sender_id)
         if own_incoming:
             for reception in own_incoming.values():
@@ -237,24 +286,104 @@ class BroadcastChannel:
         incoming = self._incoming
         tracer = self.tracer
         receivers: List[Hashable] = []
-        if sender_id in self.grid:
-            neighborhood = self.neighbors.neighbors_with_distance(sender_id, tx_range)
-        else:
+        prefiltered = False
+        if sender_id not in self.grid:
             # Sender already left the grid (death raced a pending frame):
             # resolve its audience from the recorded position, uncached.
-            neighborhood = self.neighbors.neighbors_at(
+            survivors = self.neighbors.neighbors_at(
                 sender.position, tx_range, exclude=sender_id
             )
-        for node_id, dist in neighborhood:
-            endpoint = endpoints.get(node_id)
-            if endpoint is None or not endpoint.is_listening():
-                continue
-            if transmitting.get(node_id, 0.0) > now:
-                # Receiver is itself on the air: frame is lost to it.
-                incr("half_duplex_losses")
-                if tracer is not None:
-                    tracer.emit(trace_events.drop(now, node_id, "half_duplex"))
-                continue
+        elif store is None:
+            survivors = self.neighbors.neighbors_with_distance(sender_id, tx_range)
+        else:
+            entry = self.neighbors.columnar_entry(sender_id, tx_range)
+            memo = entry[2]
+            if not self._all_publish or tracer is not None:
+                # A legacy endpoint is attached (no published listening
+                # state), or a tracer wants its drop/collision events
+                # interleaved per candidate — exactly as the scalar backend
+                # emits them, byte-identical traces being the gate.  Either
+                # way: per-candidate filters below.
+                if memo is not None:
+                    survivors = memo
+                elif entry[3] is not None:
+                    ids = store.ids
+                    survivors = [
+                        (ids[row], dist)
+                        for row, dist in zip(entry[3], entry[4])
+                    ]
+                else:
+                    survivors = self.neighbors._materialize(sender_id, entry[0])
+            elif entry[3] is not None:
+                # Small/mid-size audience: filter by plain list index over
+                # the store's listening/half-duplex mirrors — the same two
+                # checks as the per-candidate loop below, minus the method
+                # call and dict lookups per candidate (and minus the
+                # vectorized mask's fixed numpy overhead, which dominates
+                # below a few hundred candidates).
+                listening_py = store.listening_py
+                tx_py = store.tx_until_py
+                survivors = []
+                keep = survivors.append
+                n_hd = 0
+                if memo is not None:
+                    for pair, row in zip(memo, entry[3]):
+                        if listening_py[row]:
+                            if tx_py[row] > now:
+                                n_hd += 1
+                            else:
+                                keep(pair)
+                else:
+                    ids = store.ids
+                    dists_list = entry[4]
+                    for index, row in enumerate(entry[3]):
+                        if listening_py[row]:
+                            if tx_py[row] > now:
+                                n_hd += 1
+                            else:
+                                keep((ids[row], dists_list[index]))
+                if n_hd:
+                    incr("half_duplex_losses", n_hd)
+                prefiltered = True
+            else:
+                # Large audience: one vectorized mask over the store's
+                # listening/half-duplex columns replaces per-candidate
+                # checks.  Rows arrive in canonical (distance, insertion
+                # index) order and the mask preserves it, so the survivor
+                # loop below runs in exactly the order the per-candidate
+                # path would.
+                rows = entry[0]
+                cand_listen = store.listening[rows]
+                keep_mask = cand_listen & (store.tx_until[rows] <= now)
+                n_hd = int(np.count_nonzero(cand_listen)) - int(
+                    np.count_nonzero(keep_mask)
+                )
+                if n_hd:
+                    incr("half_duplex_losses", n_hd)
+                survivor_rows = rows[keep_mask]
+                cx, cy = sender.position
+                dx = store.xs[survivor_rows] - cx
+                dy = store.ys[survivor_rows] - cy
+                dists = np.sqrt(dx * dx + dy * dy)
+                ids = store.ids
+                survivors = [
+                    (ids[row], dist)
+                    for row, dist in zip(survivor_rows.tolist(), dists.tolist())
+                ]
+                prefiltered = True
+        for node_id, dist in survivors:
+            if not prefiltered:
+                # Per-candidate path: the prefiltered branches above have
+                # already applied exactly these two filters.
+                endpoint = endpoints.get(node_id)
+                if endpoint is None or not endpoint.is_listening():
+                    continue
+                if transmitting.get(node_id, 0.0) > now:
+                    # Receiver is itself on the air: frame is lost to it.
+                    incr("half_duplex_losses")
+                    if tracer is not None:
+                        tracer.emit(trace_events.drop(now, node_id, "half_duplex"))
+                    continue
             reception = Reception(packet, end, dist)
             active = incoming.get(node_id)
             if active is None:
@@ -277,6 +406,12 @@ class BroadcastChannel:
                 active[uid] = reception
             receivers.append(node_id)
 
+        if not receivers:
+            # Nobody will hear this frame: the tx-side energy and counters
+            # are already charged above, so skip scheduling a completion
+            # event outright.  Both backends compute the same (empty)
+            # audience, so the event stream stays backend-identical.
+            return
         kind = packet.kind
         label = self._rx_labels.get(kind)
         if label is None:

@@ -27,6 +27,8 @@ import math
 import os
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from .field import Field, Point
 from .spatial import SpatialGrid
 
@@ -36,6 +38,32 @@ __all__ = ["NeighborCache", "build_neighbor_lists"]
 Neighbor = Tuple[Hashable, float]
 
 _ENV_FLAG = "REPRO_NEIGHBOR_CACHE"
+
+#: Columnar backend: neighborhoods at or below this size also memoize the
+#: materialized ``(id, dist)`` list (per-frame scalar iteration beats numpy
+#: there); larger neighborhoods memoize only the compact row array and
+#: consumers batch against the columnar store.
+_LIST_CACHE_MAX = 32
+
+#: Columnar backend: neighborhoods at or below this size additionally
+#: memoize plain python lists of their store rows and distances.  The
+#: broadcast channel then filters the audience with a python loop over the
+#: store's list mirrors — below a few hundred candidates that beats the
+#: vectorized mask, whose fixed per-call numpy overhead (two fancy gathers
+#: plus boolean combines) dominates small and mid-size audiences.  Above
+#: this size the per-element advantage of the mask wins and the extra
+#: memory of boxed lists (which at 50 k nodes x ~500-row neighborhoods
+#: would run to hundreds of MB) is not paid.
+_SCALAR_AUDIENCE_MAX = 256
+
+#: Columnar backend: populations at or below this size use exact eager
+#: invalidation (a row -> cache-keys reverse index, like the scalar
+#: backend's ``_containing`` map), making a cache hit one dict lookup with
+#: no numpy at all.  Above it the reverse index would cost
+#: O(nodes x neighborhood) memory — tens of millions of set entries at
+#: 50k nodes — so entries carry the store's death epoch instead and
+#: revalidate lazily against the alive mask when a death has occurred.
+_EXACT_INVALIDATION_MAX = 4096
 
 
 def cache_enabled_default() -> bool:
@@ -65,6 +93,16 @@ class NeighborCache:
         self._lists: Dict[Tuple[Hashable, float], List[Neighbor]] = {}
         #: member id -> keys of cached lists that must die with it
         self._containing: Dict[Hashable, Set[Tuple[Hashable, float]]] = {}
+        #: columnar backend only: (id, radius) -> mutable entry
+        #: ``[rows, epoch, memoized (id, dist) list or None, row list or
+        #: None, distance list or None]`` where ``epoch`` is ``None`` for
+        #: exactly-invalidated entries (small populations) or the store's
+        #: death epoch at (re)validation time
+        self._rows: Dict[Tuple[Hashable, float], list] = {}
+        #: columnar exact mode: store row -> keys of entries containing it
+        self._row_keys: Dict[int, Set[Tuple[Hashable, float]]] = {}
+        #: the grid's columnar store, or None on the scalar backend
+        self._store = getattr(grid, "store", None)
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -81,6 +119,23 @@ class NeighborCache:
         ``item`` itself is excluded.  The returned list is owned by the
         cache — treat it as read-only.
         """
+        if self._store is not None:
+            entry = self.columnar_entry(item, radius)
+            result = entry[2]
+            if result is None:
+                if entry[3] is not None:
+                    # Mid-size neighborhood: assemble from the cached row
+                    # and distance lists (same floats as ``_materialize``,
+                    # which ran the identical subtract/square/sqrt once at
+                    # entry-build time).
+                    ids = self._store.ids
+                    result = [
+                        (ids[row], dist)
+                        for row, dist in zip(entry[3], entry[4])
+                    ]
+                else:
+                    result = self._materialize(item, entry[0])
+            return result
         key = (item, radius)
         if self.enabled:
             cached = self._lists.get(key)
@@ -105,6 +160,93 @@ class NeighborCache:
                 containing.setdefault(node_id, set()).add(key)
         return result
 
+    def columnar_entry(self, item: Hashable, radius: float) -> list:
+        """The cache entry for ``item`` against a columnar grid.
+
+        Returns the mutable 5-slot entry ``[rows, epoch, memo, row_list,
+        dists_list]``: ``rows`` is the canonical ``(dist, insertion
+        index)``-sorted store row array; ``memo`` the materialized
+        ``(id, dist)`` list for neighborhoods of at most
+        ``_LIST_CACHE_MAX`` nodes; ``row_list`` / ``dists_list`` plain
+        python lists of the rows and their distances for neighborhoods of
+        at most ``_SCALAR_AUDIENCE_MAX`` nodes (the broadcast channel
+        filters those audiences by list index with no numpy at all);
+        slots are ``None`` beyond their size tier and consumers batch
+        against the store instead.  Invalidation reaches the exact same
+        recomputation points as the scalar backend's remove listener:
+        small populations evict eagerly through a row reverse index (a
+        hit is then one dict lookup, no numpy), large ones tag entries
+        with the store's death epoch and revalidate against the alive
+        mask only when a death has happened since.
+        """
+        key = (item, radius)
+        store = self._store
+        if self.enabled:
+            entry = self._rows.get(key)
+            if entry is not None:
+                epoch = entry[1]
+                if epoch is None or epoch == store.death_epoch:
+                    self.hits += 1
+                    return entry
+                if np.all(store.alive[entry[0]]):
+                    entry[1] = store.death_epoch
+                    self.hits += 1
+                    return entry
+                self.invalidations += 1
+                del self._rows[key]
+        self.misses += 1
+        grid = self.grid
+        rows_full, d_sq = grid.query_rows(  # type: ignore[attr-defined]
+            grid.position(item), radius,
+            exclude_row=grid.row_index(item),  # type: ignore[attr-defined]
+        )
+        rows = rows_full.astype(np.int32)
+        result: Optional[List[Neighbor]] = None
+        row_list: Optional[List[int]] = None
+        dists_list: Optional[List[float]] = None
+        if rows.shape[0] <= _SCALAR_AUDIENCE_MAX:
+            row_list = rows_full.tolist()
+            dists_list = np.sqrt(d_sq).tolist()
+            if rows.shape[0] <= _LIST_CACHE_MAX:
+                ids = store.ids
+                result = [
+                    (ids[row], dist)
+                    for row, dist in zip(row_list, dists_list)
+                ]
+        entry = [rows, store.death_epoch, result, row_list, dists_list]
+        if self.enabled:
+            if store.size <= _EXACT_INVALIDATION_MAX:
+                entry[1] = None
+                self._rows[key] = entry
+                row_keys = self._row_keys
+                for row in rows.tolist():
+                    members = row_keys.get(row)
+                    if members is None:
+                        row_keys[row] = {key}
+                    else:
+                        members.add(key)
+            else:
+                self._rows[key] = entry
+        return entry
+
+    def _materialize(self, item: Hashable, rows: np.ndarray) -> List[Neighbor]:
+        """Build the ``(id, dist)`` list for a large columnar row array.
+
+        Recomputes distances from the store's position columns — the same
+        subtraction/square/sqrt sequence the scalar path runs, so the floats
+        are bit-identical.
+        """
+        store = self._store
+        cx, cy = self.grid.position(item)
+        dx = store.xs[rows] - cx
+        dy = store.ys[rows] - cy
+        dists = np.sqrt(dx * dx + dy * dy)
+        ids = store.ids
+        return [
+            (ids[row], dist)
+            for row, dist in zip(rows.tolist(), dists.tolist())
+        ]
+
     def neighbors_at(
         self, position: Point, radius: float, exclude: Optional[Hashable] = None
     ) -> List[Neighbor]:
@@ -124,6 +266,8 @@ class NeighborCache:
         ]
 
     def __len__(self) -> int:
+        if self._store is not None:
+            return len(self._rows)
         return len(self._lists)
 
     def stats(self) -> Dict[str, int]:
@@ -131,7 +275,7 @@ class NeighborCache:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
-            "entries": len(self._lists),
+            "entries": len(self),
         }
 
     # ------------------------------------------------------------ internals
@@ -139,10 +283,26 @@ class NeighborCache:
         if kind == "insert":
             # Inserts only happen during deployment setup; a blanket flush is
             # both correct and cheap there.
-            if self._lists:
-                self.invalidations += len(self._lists)
+            if self._lists or self._rows:
+                self.invalidations += max(len(self._lists), len(self._rows))
                 self._lists.clear()
+                self._rows.clear()
+                self._row_keys.clear()
                 self._containing.clear()
+            return
+        store = self._store
+        if store is not None:
+            # Columnar exact mode: evict every entry whose rows contain the
+            # removed node.  Lazily-validated (epoch-tagged) entries are not
+            # reverse-indexed; their stale rows are caught by the epoch
+            # check on their next lookup.
+            row = store.row_of.get(item)
+            keys = self._row_keys.pop(row, None) if row is not None else None
+            if keys:
+                rows_cache = self._rows
+                for key in keys:
+                    if rows_cache.pop(key, None) is not None:
+                        self.invalidations += 1
             return
         # Removal (node death): drop exactly the affected entries.
         keys = self._containing.pop(item, None)
@@ -178,7 +338,9 @@ def build_neighbor_lists(
     """
     if radius <= 0:
         raise ValueError("radius must be positive")
-    grid = SpatialGrid(field, cell_size=cell_size if cell_size else radius)
+    from .columnar import make_spatial_grid
+
+    grid = make_spatial_grid(field, cell_size=cell_size if cell_size else radius)
     for node_id, position in positions.items():
         grid.insert(node_id, position)
     cache = NeighborCache(grid, enabled=True)

@@ -9,11 +9,13 @@ A uniform bucket grid gives O(1) expected query time for the short ranges the
 protocol uses (probing range 3 m, radio range 10 m in a 50 x 50 m field).
 
 Buckets are insertion-ordered dicts, so membership deletion is O(1) (node
-death must not scan a bucket) and iteration order is reproducible: the order
-of :meth:`SpatialGrid.within` results depends only on the insertion history,
-never on hash values or removal patterns.  Bucket values carry the position
-and the item's insertion index inline, so range scans never do a secondary
-id->position lookup.
+death must not scan a bucket) and iteration order is reproducible:
+:meth:`SpatialGrid.within` returns its results **sorted by insertion
+index** — a canonical order that depends only on the insertion history,
+never on hash values, removal patterns or bucket geometry, and that the
+columnar backend (:mod:`repro.net.columnar`) reproduces exactly.  Bucket
+values carry the position and the item's insertion index inline, so range
+scans never do a secondary id->position lookup.
 
 The index also supports *mutation listeners* — callbacks invoked on every
 ``insert``/``remove`` — which :class:`repro.net.neighbors.NeighborCache`
@@ -117,11 +119,19 @@ class SpatialGrid:
         return self._order[item]
 
     def within(self, center: Point, radius: float) -> List[Hashable]:
-        """All indexed items within ``radius`` of ``center`` (inclusive)."""
+        """Indexed items within ``radius`` of ``center`` (inclusive),
+        sorted by insertion index (the canonical reproducible order shared
+        with the columnar backend)."""
         if radius < 0:
             raise ValueError("radius must be nonnegative")
         r_sq = radius * radius
         cx, cy = center
+        # Closed x-window |px - cx| <= radius, checked on the *coordinates*:
+        # squared distances underflow to 0.0 for pathologically close
+        # points, and the columnar backend's searchsorted x-slice (the same
+        # closed window) would exclude what the underflowed d_sq admits.
+        win_lo = cx - radius
+        win_hi = cx + radius
         cell = self.cell_size
         span = int(math.ceil(radius / cell))
         icx = int(cx // cell)
@@ -141,8 +151,9 @@ class SpatialGrid:
                     for px, py, _order, item in bucket.values():
                         dx = px - cx
                         dy = py - cy
-                        if dx * dx + dy * dy <= r_sq:
+                        if dx * dx + dy * dy <= r_sq and win_lo <= px <= win_hi:
                             found.append(item)
+            found.sort(key=self._order.__getitem__)
             return found
         # Row geometry (near/far edge distances to the center's y) is shared
         # by every column: precompute it once per query, keeping only rows
@@ -191,8 +202,9 @@ class SpatialGrid:
                 for px, py, _order, item in bucket.values():
                     dx = px - cx
                     dy = py - cy
-                    if dx * dx + dy * dy <= r_sq:
+                    if dx * dx + dy * dy <= r_sq and win_lo <= px <= win_hi:
                         found.append(item)
+        found.sort(key=self._order.__getitem__)
         return found
 
     def within_annotated(
@@ -209,6 +221,10 @@ class SpatialGrid:
             raise ValueError("radius must be nonnegative")
         r_sq = radius * radius
         cx, cy = center
+        # Same closed x-window as `within` (and the columnar searchsorted
+        # slice): keeps underflowed d_sq from admitting out-of-window items.
+        win_lo = cx - radius
+        win_hi = cx + radius
         cell = self.cell_size
         span = int(math.ceil(radius / cell))
         icx = int(cx // cell)
@@ -228,7 +244,7 @@ class SpatialGrid:
                     dx = px - cx
                     dy = py - cy
                     d_sq = dx * dx + dy * dy
-                    if d_sq <= r_sq:
+                    if d_sq <= r_sq and win_lo <= px <= win_hi:
                         append((d_sq, order, item))
         return found
 

@@ -32,18 +32,25 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 __all__ = [
     "SCHEMA",
+    "SCALING_NODE_COUNTS",
     "micro_rounds",
     "peak_rss_mb",
     "time_workload",
     "run_micro",
     "run_macro",
+    "run_scaling",
     "measure_tree",
     "ab_measure",
     "compare_micro",
+    "compare_scaling",
     "write_report",
 ]
 
 SCHEMA = "repro-bench/1"
+
+#: default node counts for the scaling curve (density grows on the paper's
+#: fixed 50x50 field, the same axis as the Fig 11 density-adaptivity claim)
+SCALING_NODE_COUNTS = (1_000, 10_000, 50_000)
 
 #: timing rounds per kernel workload, by REPRO_BENCH_SCALE
 _SCALE_ROUNDS = {"smoke": 10, "quick": 20, "full": 40}
@@ -131,6 +138,82 @@ def run_macro(
         "coverage_lifetime_k3": cov3,
         "total_wakeups": wakeups,
     }
+
+
+def run_scaling(
+    node_counts: Sequence[int] = SCALING_NODE_COUNTS,
+    protocols: Sequence[str] = ("peas", "duty_cycle"),
+    seed: int = 0,
+    max_time_s: float = 2000.0,
+) -> Dict[str, object]:
+    """The scaling curve: PEAS plus one baseline at growing density.
+
+    Every point keeps the paper's 50 x 50 m field and deploys
+    ``node_counts`` nodes on it (growing *density*, the axis the paper's
+    §5.2 robustness claim and Fig 11 live on), with traffic and failure
+    injection off and a bounded horizon, so the wall-clock isolates the
+    protocol control plane plus the simulation substrate.  Points run
+    serially, cheapest first, and each one records its own wall so a
+    partial curve is still meaningful if a large point is interrupted.
+    """
+    from repro.baselines import run_baseline
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenario import Scenario
+
+    points: List[Dict[str, object]] = []
+    for num_nodes in sorted(node_counts):
+        for protocol in protocols:
+            scenario = Scenario(
+                num_nodes=num_nodes,
+                seed=seed,
+                failure_per_5000s=0.0,
+                with_traffic=False,
+                max_time_s=max_time_s,
+            )
+            start = time.perf_counter()
+            if protocol == "peas":
+                result = run_scenario(scenario)
+            else:
+                result = run_baseline(scenario, protocol=protocol)
+            wall = time.perf_counter() - start
+            points.append(
+                {
+                    "protocol": protocol,
+                    "num_nodes": num_nodes,
+                    "wall_s": wall,
+                    "end_time_s": result.end_time,
+                    "total_wakeups": getattr(result, "total_wakeups", None),
+                }
+            )
+    return {
+        "seed": seed,
+        "max_time_s": max_time_s,
+        "node_counts": sorted(node_counts),
+        "protocols": list(protocols),
+        "points": points,
+    }
+
+
+def compare_scaling(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> Dict[str, float]:
+    """Per-point wall-clock speedup of ``current`` over ``baseline``.
+
+    Points are matched on ``(protocol, num_nodes)``; keys come back as
+    ``"<protocol>@<num_nodes>"``.  Values > 1 mean the current tree is
+    faster.
+    """
+    base_walls = {
+        (point["protocol"], point["num_nodes"]): point["wall_s"]
+        for point in baseline.get("points", [])
+    }
+    speedups: Dict[str, float] = {}
+    for point in current.get("points", []):
+        key = (point["protocol"], point["num_nodes"])
+        wall = point["wall_s"]
+        if key in base_walls and wall:
+            speedups[f"{key[0]}@{key[1]}"] = base_walls[key] / wall
+    return speedups
 
 
 def measure_tree(

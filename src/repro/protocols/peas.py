@@ -105,14 +105,14 @@ class PeasRun(ProtocolRun):
             for sender, receiver in zip(path, path[1:] + [None]):
                 node = _network.nodes[sender]
                 if not node.anchor and node.alive:
-                    node.battery.charge_frame(now, "tx", _airtime, "data_tx")
-                    node.on_energy_charged()
+                    left = node.battery.charge_frame(now, "tx", _airtime, "data_tx")
+                    node.on_energy_charged(left)
                 if receiver is None:
                     continue
                 peer = _network.nodes[receiver]
                 if not peer.anchor and peer.alive:
-                    peer.battery.charge_frame(now, "rx", _airtime, "data_rx")
-                    peer.on_energy_charged()
+                    left = peer.battery.charge_frame(now, "rx", _airtime, "data_rx")
+                    peer.on_energy_charged(left)
 
         return path_hook
 
