@@ -88,6 +88,14 @@ def _cmd_run(args: argparse.Namespace) -> None:
         print(f"trace: {trace_path} ({stats.get('emitted', 0)} events, "
               f"{stats.get('dropped', 0)} dropped)")
         print(f"manifest: {manifest_path}")
+        if result.profile is not None:
+            import json
+
+            profile_path = trace_path.parent / (trace_path.stem + ".profile.json")
+            profile_path.write_text(
+                json.dumps(result.profile, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"profile: {profile_path}")
     print(f"nodes={result.num_nodes} seed={result.seed} end_time={result.end_time:.0f}s")
     for k in sorted(result.coverage_lifetimes):
         print(f"  {k}-coverage lifetime: {result.coverage_lifetimes[k]}")
@@ -130,20 +138,96 @@ def _cmd_inspect(args: argparse.Namespace) -> None:
     from .obs import render_summary, validate_trace_file
     from .obs.inspect import summarize_trace_file
 
-    if args.validate:
-        errors = validate_trace_file(args.trace)
-        if errors:
-            print(f"{args.trace}: {len(errors)} schema violation(s)", file=sys.stderr)
-            for error in errors:
-                print(f"  {error}", file=sys.stderr)
-            raise SystemExit(1)
-        print(f"{args.trace}: schema OK")
-    summary = summarize_trace_file(args.trace)
-    print(render_summary(summary, max_nodes=args.max_nodes))
+    if args.diff:
+        from .obs import diff_runs, load_run, render_diff
+
+        record_a = load_run(args.diff[0])
+        record_b = load_run(args.diff[1])
+        print(render_diff(diff_runs(record_a, record_b)))
+        return
+    if args.trace is None and args.profile is None:
+        raise SystemExit(
+            "inspect: provide a trace file, --diff A B, or --profile PATH"
+        )
+    # `--profile` takes an optional PATH, so `inspect --profile t.ndjson`
+    # binds the trace to --profile; re-interpret trace files as the
+    # positional and fall back to sidecar discovery.
+    if (args.trace is None and args.profile not in (None, "auto")
+            and args.profile.endswith(".ndjson")):
+        args.trace = args.profile
+        args.profile = "auto"
+    if args.trace is not None:
+        if args.validate:
+            errors = validate_trace_file(args.trace)
+            if errors:
+                print(f"{args.trace}: {len(errors)} schema violation(s)",
+                      file=sys.stderr)
+                for error in errors:
+                    print(f"  {error}", file=sys.stderr)
+                raise SystemExit(1)
+            print(f"{args.trace}: schema OK")
+        summary = summarize_trace_file(args.trace)
+        print(render_summary(summary, max_nodes=args.max_nodes))
+    if args.profile is not None:
+        import json
+        from pathlib import Path
+
+        from .obs import EngineProfiler
+
+        profile_path = args.profile
+        if profile_path == "auto":
+            if args.trace is None:
+                raise SystemExit(
+                    "inspect --profile without a path needs a trace argument "
+                    "to discover <trace-stem>.profile.json next to"
+                )
+            trace_path = Path(args.trace)
+            profile_path = str(
+                trace_path.parent / (trace_path.stem + ".profile.json")
+            )
+        try:
+            profile = json.loads(Path(profile_path).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise SystemExit(
+                f"inspect: no profile at {profile_path} (run with --profile "
+                "and --trace to record one)"
+            )
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"inspect: {profile_path} is not an engine profile "
+                f"(expected the <trace-stem>.profile.json sidecar): {exc}"
+            )
+        if args.trace is not None:
+            print()
+        print(EngineProfiler.render(profile, limit=15))
 
 
-def _cmd_deployment_artifact(name: str) -> None:
-    groups = get_deployment_results()
+def _sweep_telemetry(args: argparse.Namespace, label: str):
+    """``(telemetry, options)`` for a sweep command's ``--telemetry`` flag.
+
+    When active, per-run metrics collection is forced on so the sweep-level
+    export actually carries simulation metrics, and the exports land in the
+    flag's directory.  ``(None, None)`` when the flag is absent.
+    """
+    target = getattr(args, "telemetry", None)
+    if target is None:
+        return None, None
+    from .experiments import SweepTelemetry
+    from .harness import RunOptions
+
+    return SweepTelemetry(target, label=label), RunOptions(metrics=True)
+
+
+def _announce_exports(telemetry) -> None:
+    if telemetry is not None:
+        print(f"telemetry: {telemetry.out_dir}/metrics.ndjson "
+              f"(+ metrics.prom, manifest.json)")
+
+
+def _cmd_deployment_artifact(name: str, args: argparse.Namespace) -> None:
+    telemetry, options = _sweep_telemetry(args, label=name)
+    groups = get_deployment_results(options=options, telemetry=telemetry)
+    _announce_exports(telemetry)
     if name == "fig9":
         print(format_table(
             ["nodes", "3-cov lifetime (s)", "4-cov lifetime (s)", "5-cov lifetime (s)"],
@@ -163,8 +247,10 @@ def _cmd_deployment_artifact(name: str) -> None:
             title="Table 1: energy overhead for deployment numbers"))
 
 
-def _cmd_failure_artifact(name: str) -> None:
-    groups = get_failure_results()
+def _cmd_failure_artifact(name: str, args: argparse.Namespace) -> None:
+    telemetry, options = _sweep_telemetry(args, label=name)
+    groups = get_failure_results(options=options, telemetry=telemetry)
+    _announce_exports(telemetry)
     if name == "fig12":
         print(format_table(
             ["failure rate", "3-cov (s)", "4-cov (s)", "5-cov (s)", "failed frac"],
@@ -198,7 +284,12 @@ def _cmd_baselines(args: argparse.Namespace) -> None:
     )
     seeds = [args.seed + i for i in range(args.seeds)]
     scenarios = expand_seeds(expand_protocols([base], protocols), seeds)
-    results = run_sweep(scenarios, processes=bench_processes())
+    telemetry, options = _sweep_telemetry(args, label="baselines")
+    results = run_sweep(
+        scenarios, processes=bench_processes(), options=options,
+        telemetry=telemetry,
+    )
+    _announce_exports(telemetry)
     by_protocol = group_by(results, lambda r: r.manifest.get("protocol"))
 
     def _cell(stats, spec=".0f"):
@@ -223,7 +314,9 @@ def _cmd_baselines(args: argparse.Namespace) -> None:
 def _cmd_robustness(args: argparse.Namespace) -> None:
     from .experiments import get_robustness_results, robustness_rows
 
-    groups = get_robustness_results()
+    telemetry, options = _sweep_telemetry(args, label="robustness")
+    groups = get_robustness_results(options=options, telemetry=telemetry)
+    _announce_exports(telemetry)
     rows = []
     for name, ok, lifetime, dip, recovery, deaths in robustness_rows(groups):
         rows.append([
@@ -316,22 +409,47 @@ def build_parser() -> argparse.ArgumentParser:
                             "estimator well-formedness); off by default")
 
     inspect_p = sub.add_parser(
-        "inspect", help="summarize an NDJSON trace (timelines, top talkers)"
+        "inspect",
+        help="summarize a trace, render a profile, or diff two recorded runs",
     )
-    inspect_p.add_argument("trace", help="path to a trace .ndjson file")
+    inspect_p.add_argument("trace", nargs="?", default=None,
+                           help="path to a trace .ndjson file")
     inspect_p.add_argument("--validate", action="store_true",
                            help="check every line against the trace schema first")
     inspect_p.add_argument("--max-nodes", type=int, default=20,
                            help="cap on per-node timelines shown")
+    inspect_p.add_argument("--profile", metavar="PATH", nargs="?", const="auto",
+                           default=None,
+                           help="render an engine profile (self-time table + "
+                                "queue-gauge sparklines); with no PATH, "
+                                "discovers <trace-stem>.profile.json next to "
+                                "the trace argument")
+    inspect_p.add_argument("--diff", metavar=("A", "B"), nargs=2, default=None,
+                           help="compare two recorded runs (telemetry output "
+                                "dirs or metrics.ndjson files): provenance "
+                                "drift, lifetime/coverage/energy deltas, top "
+                                "counter movers")
+
+    def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--telemetry", metavar="DIR", nargs="?", const="peas-telemetry",
+            default=None,
+            help="live sweep progress/ETA plus peas-metrics/1, Prometheus "
+                 "and manifest exports written into DIR "
+                 "(default ./peas-telemetry)",
+        )
 
     for name in ("fig9", "fig10", "fig11", "table1"):
-        sub.add_parser(name, help=f"reproduce {name} (deployment sweep)")
+        fig_p = sub.add_parser(name, help=f"reproduce {name} (deployment sweep)")
+        _add_telemetry_flag(fig_p)
     for name in ("fig12", "fig13", "fig14"):
-        sub.add_parser(name, help=f"reproduce {name} (failure sweep)")
-    sub.add_parser(
+        fig_p = sub.add_parser(name, help=f"reproduce {name} (failure sweep)")
+        _add_telemetry_flag(fig_p)
+    robustness_p = sub.add_parser(
         "robustness",
         help="sweep the fault-model catalogue and report recovery metrics",
     )
+    _add_telemetry_flag(robustness_p)
 
     base_p = sub.add_parser("baselines", help="PEAS vs baseline protocols")
     base_p.add_argument("--nodes", type=int, default=320)
@@ -343,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     base_p.add_argument("--seeds", type=int, default=1,
                         help="seeds per protocol, averaged like the paper's "
                              "5-run points (default 1)")
+    _add_telemetry_flag(base_p)
 
     conn_p = sub.add_parser("connectivity", help="Theorem 3.1 range sweep")
     conn_p.add_argument("--side", type=float, default=50.0)
@@ -382,9 +501,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         _cmd_run(args)
     elif args.command in ("fig9", "fig10", "fig11", "table1"):
-        _cmd_deployment_artifact(args.command)
+        _cmd_deployment_artifact(args.command, args)
     elif args.command in ("fig12", "fig13", "fig14"):
-        _cmd_failure_artifact(args.command)
+        _cmd_failure_artifact(args.command, args)
     elif args.command == "robustness":
         _cmd_robustness(args)
     elif args.command == "baselines":

@@ -50,6 +50,9 @@ class RunResult:
     manifest: Dict[str, Any] = field(default_factory=dict)
     #: engine self-time breakdown when the run was profiled, else ``None``
     profile: Optional[Dict[str, Any]] = None
+    #: registry snapshot when run with ``RunOptions(metrics=True)``, else
+    #: ``None``; see :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+    metrics: Optional[List[Dict[str, Any]]] = None
 
     @property
     def energy_overhead_ratio(self) -> float:

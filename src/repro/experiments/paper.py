@@ -109,11 +109,16 @@ def get_deployment_results(
     seeds: Optional[Sequence[int]] = None,
     processes: Optional[int] = None,
     options: Optional[RunOptions] = None,
+    telemetry=None,
 ) -> Dict[int, List[RunResult]]:
     """Deployment-sweep results grouped by population.
 
-    ``options`` applies one capability stack (sanitize / trace-to-path) to
-    every run in the sweep, pooled or serial.
+    ``options`` applies one capability stack (sanitize / trace-to-path /
+    metrics) to every run in the sweep, pooled or serial.  ``telemetry``
+    (a :class:`~repro.experiments.telemetry.SweepTelemetry`) attaches the
+    live-progress/export bus; it is not part of the memo key, so it only
+    takes effect when the sweep actually executes (always true for fresh
+    CLI processes).
     """
     seeds = tuple(seeds if seeds is not None else bench_seeds())
     key = ("deployment", seeds, options)
@@ -122,6 +127,7 @@ def get_deployment_results(
             deployment_scenarios(seeds),
             processes=processes if processes is not None else bench_processes(),
             options=options,
+            telemetry=telemetry,
         )
         _memo[key] = group_by(results, lambda r: r.num_nodes)
     return _memo[key]  # type: ignore[return-value]
@@ -131,6 +137,7 @@ def get_failure_results(
     seeds: Optional[Sequence[int]] = None,
     processes: Optional[int] = None,
     options: Optional[RunOptions] = None,
+    telemetry=None,
 ) -> Dict[float, List[RunResult]]:
     """Failure-sweep results grouped by failure rate."""
     seeds = tuple(seeds if seeds is not None else bench_seeds())
@@ -140,6 +147,7 @@ def get_failure_results(
             failure_scenarios(seeds),
             processes=processes if processes is not None else bench_processes(),
             options=options,
+            telemetry=telemetry,
         )
         _memo[key] = group_by(results, lambda r: r.failure_rate_per_5000s)
     return _memo[key]  # type: ignore[return-value]

@@ -89,11 +89,14 @@ def get_robustness_results(
     seeds: Optional[Sequence[int]] = None,
     processes: Optional[int] = None,
     options: Optional[RunOptions] = None,
+    telemetry=None,
 ) -> Dict[str, List[Union[RunResult, RunError]]]:
     """Robustness-sweep results grouped by regime name, in regime order.
 
     Individual run failures are collected (as :class:`RunError` entries in
-    the regime's list), not raised.
+    the regime's list), not raised.  ``telemetry`` attaches the sweep
+    telemetry bus (live progress + exports); like the paper sweeps it is
+    not part of the memo key.
     """
     seeds = tuple(seeds if seeds is not None else bench_seeds())
     key = (seeds, options)
@@ -103,6 +106,7 @@ def get_robustness_results(
             processes=processes if processes is not None else bench_processes(),
             options=options,
             errors="collect",
+            telemetry=telemetry,
         )
         # expand_seeds keeps regime-major order: slice per regime.
         grouped: Dict[str, List[Union[RunResult, RunError]]] = {}

@@ -40,7 +40,7 @@ _SCENARIO_SCHEMA = "peas-scenario/1"
 
 def result_to_dict(result: RunResult) -> Dict:
     """A JSON-compatible dictionary capturing the full result."""
-    return {
+    payload: Dict = {
         "schema": _SCHEMA_VERSION,
         "num_nodes": result.num_nodes,
         "seed": result.seed,
@@ -66,6 +66,10 @@ def result_to_dict(result: RunResult) -> Dict:
         "manifest": dict(result.manifest),
         "profile": result.profile,
     }
+    # Omitted (not null) when absent so default-path outputs are unchanged.
+    if result.metrics is not None:
+        payload["metrics"] = result.metrics
+    return payload
 
 
 def result_from_dict(payload: Dict) -> RunResult:
@@ -96,6 +100,7 @@ def result_from_dict(payload: Dict) -> RunResult:
         extras=dict(payload.get("extras", {})),
         manifest=dict(payload.get("manifest", {})),
         profile=payload.get("profile"),
+        metrics=payload.get("metrics"),
     )
 
 

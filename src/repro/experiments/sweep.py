@@ -74,12 +74,24 @@ class RunError:
     #: how many attempts were made (1 = failed without a retry)
     attempts: int = 1
 
-    def summary(self) -> str:
-        return (
+    def summary(self, traceback_lines: int = 3) -> str:
+        """One actionable block per failure: the failing run's coordinates
+        (protocol / population / seed — enough to re-run it solo), the
+        exception, and the tail of the worker traceback (the frames
+        nearest the raise; the head is usually pool plumbing)."""
+        head = (
             f"{self.scenario.protocol}/n={self.scenario.num_nodes}/"
             f"seed={self.scenario.seed}: {self.error_type}: "
             f"{self.error_message}"
         )
+        tail = [
+            line
+            for line in self.traceback_text.rstrip().splitlines()
+            if line.strip()
+        ][-traceback_lines:]
+        if not tail:
+            return head
+        return "\n".join([head] + [f"    {line.rstrip()}" for line in tail])
 
 
 class SweepError(RuntimeError):
@@ -105,10 +117,15 @@ class _Outcome:
 
 
 def _guarded_run(scenario: Scenario, options: RunOptions) -> _Outcome:
+    # The telemetry hooks are process-global no-ops unless this worker was
+    # initialized by a SweepTelemetry bus (see experiments.telemetry).
+    from .telemetry import worker_run_finished, worker_run_started
+
+    worker_run_started(scenario)
     try:
-        return _Outcome(result=_run_scenario(scenario, options))
+        outcome = _Outcome(result=_run_scenario(scenario, options))
     except Exception as exc:  # noqa: BLE001 - captured, surfaced by policy
-        return _Outcome(
+        outcome = _Outcome(
             error=RunError(
                 scenario=scenario,
                 error_type=type(exc).__name__,
@@ -116,6 +133,8 @@ def _guarded_run(scenario: Scenario, options: RunOptions) -> _Outcome:
                 traceback_text=traceback.format_exc(),
             )
         )
+    worker_run_finished(ok=outcome.error is None)
+    return outcome
 
 
 def _default_chunksize(num_scenarios: int, processes: int) -> int:
@@ -135,13 +154,22 @@ def run_sweep(
     options: Optional[RunOptions] = None,
     chunksize: Optional[int] = None,
     errors: str = "raise",
+    telemetry=None,
 ) -> List[Union[RunResult, RunError]]:
     """Run every scenario; ``processes`` > 1 uses a process pool.
 
     Results are returned in the order of the input scenarios either way, so
     downstream grouping is deterministic.  ``options`` applies the same
-    capability stack (profile / sanitize / trace-to-path) to every run,
-    pooled or serial; ``chunksize`` overrides the per-worker batching.
+    capability stack (profile / sanitize / trace-to-path / metrics) to
+    every run, pooled or serial; ``chunksize`` overrides the per-worker
+    batching.
+
+    ``telemetry`` (a :class:`~repro.experiments.telemetry.SweepTelemetry`)
+    attaches the sweep telemetry bus: pooled workers ship heartbeats to a
+    live progress line, and once the sweep finishes — including the
+    ``errors="raise"`` path, so a partly-failed sweep still leaves its
+    exports behind — the merged ``peas-metrics/1`` / Prometheus / manifest
+    files are written to the telemetry's output directory.
 
     Failed runs are retried once, serially, with the identical scenario
     (the run is seed-deterministic, so a logic bug fails twice while a
@@ -154,10 +182,15 @@ def run_sweep(
     if errors not in ("raise", "collect"):
         raise ValueError(f"errors must be 'raise' or 'collect', got {errors!r}")
     options = options if options is not None else RunOptions()
-    if processes is not None and processes > 1:
+    pooled = processes is not None and processes > 1
+    if telemetry is not None:
+        telemetry.start(len(scenarios), processes=processes if pooled else 1)
+    if pooled:
+        assert processes is not None
         if chunksize is None:
             chunksize = _default_chunksize(len(scenarios), processes)
-        with ProcessPoolExecutor(max_workers=processes) as pool:
+        pool_kwargs = telemetry.pool_kwargs() if telemetry is not None else {}
+        with ProcessPoolExecutor(max_workers=processes, **pool_kwargs) as pool:
             outcomes = list(
                 pool.map(
                     partial(_guarded_run, options=options),
@@ -166,7 +199,14 @@ def run_sweep(
                 )
             )
     else:
-        outcomes = [_guarded_run(scenario, options) for scenario in scenarios]
+        outcomes = []
+        for scenario in scenarios:
+            outcome = _guarded_run(scenario, options)
+            outcomes.append(outcome)
+            if telemetry is not None:
+                telemetry.note_outcome(
+                    ok=outcome.error is None, scenario=scenario
+                )
 
     # One same-seed retry for each failure, serial and in input order.
     for index, outcome in enumerate(outcomes):
@@ -186,14 +226,21 @@ def run_sweep(
                 retried=True,
             )
         outcomes[index] = retry
+        if telemetry is not None:
+            telemetry.note_outcome(
+                ok=retry.error is None, scenario=scenarios[index], retry=True
+            )
 
     failures = [o.error for o in outcomes if o.error is not None]
-    if failures and errors == "raise":
-        raise SweepError(failures)
-    return [
+    results: List[Union[RunResult, RunError]] = [
         outcome.result if outcome.result is not None else outcome.error  # type: ignore[misc]
         for outcome in outcomes
     ]
+    if telemetry is not None:
+        telemetry.finish(scenarios, results)
+    if failures and errors == "raise":
+        raise SweepError(failures)
+    return results
 
 
 def group_by(

@@ -1,0 +1,420 @@
+"""Sweep-scale telemetry: worker heartbeats, live progress, exports.
+
+``run_sweep`` executes a seed battery in silence by default.  A
+:class:`SweepTelemetry` attached to it adds three things, none of which
+touches simulation state:
+
+1. **Worker heartbeats.**  Pool workers are initialized with a
+   :func:`_worker_init` hook that installs a process-global
+   :class:`_WorkerReporter`; the guarded run wrapper pings it at run
+   start/finish, and it ships small dict messages (runs completed, current
+   scenario coordinates, elapsed wall time, peak RSS, error count) over a
+   ``multiprocessing.Manager`` queue to the parent.  A plain
+   ``multiprocessing.Queue`` cannot ride ``ProcessPoolExecutor`` initargs
+   (it pickles through the call path and raises), hence the manager proxy.
+   Telemetry sends are fire-and-forget: a full or broken queue must never
+   fail a run.
+
+2. **Live progress.**  A drain thread in the parent folds messages into a
+   single status line (done/total, percentage, ETA from the observed run
+   rate, live workers, errors, the most recent run's coordinates),
+   rewritten in place at a throttled cadence.
+
+3. **Canonical exports.**  :meth:`SweepTelemetry.finish` computes the
+   authoritative aggregates from the returned results (heartbeats are
+   best-effort transport, results are ground truth), merges every
+   per-run ``result.metrics`` snapshot into one sweep-level
+   :class:`~repro.obs.metrics.MetricsRegistry`, adds the sweep's own
+   instruments (``peas_sweep_*``), and writes ``metrics.ndjson``
+   (``peas-metrics/1``), ``metrics.prom`` (Prometheus text exposition) and
+   ``manifest.json`` (``peas-sweep-manifest/1`` provenance) into the
+   output directory — the inputs ``peas-repro inspect --diff`` compares.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
+
+from ..obs.manifest import config_hash, git_sha, peak_rss_mb
+from ..obs.metrics import MetricsRegistry, save_metrics, save_prometheus
+
+__all__ = [
+    "SWEEP_MANIFEST_SCHEMA",
+    "SweepTelemetry",
+    "worker_run_started",
+    "worker_run_finished",
+]
+
+SWEEP_MANIFEST_SCHEMA = "peas-sweep-manifest/1"
+
+#: minimum seconds between heartbeat sends per worker
+_DEFAULT_INTERVAL_S = 1.0
+#: minimum seconds between progress-line rewrites in the parent
+_RENDER_PERIOD_S = 0.25
+
+
+# --------------------------------------------------------------------------
+# Worker side: a process-global reporter, installed by the pool initializer.
+# --------------------------------------------------------------------------
+class _WorkerReporter:
+    """Per-worker heartbeat source (lives in the pool worker process)."""
+
+    def __init__(self, queue: Any, interval_s: float) -> None:
+        self.queue = queue
+        self.interval_s = interval_s
+        self.runs = 0
+        self.errors = 0
+        self.started = time.time()
+        self.last_beat = 0.0
+        self.current: Optional[Dict[str, Any]] = None
+
+    def run_started(self, scenario: Any) -> None:
+        self.current = {
+            "protocol": scenario.protocol,
+            "nodes": scenario.num_nodes,
+            "seed": scenario.seed,
+        }
+        self._beat()
+
+    def run_finished(self, ok: bool) -> None:
+        self.runs += 1
+        if not ok:
+            self.errors += 1
+        self._send({
+            "kind": "run_end",
+            "pid": os.getpid(),
+            "ok": ok,
+            "scenario": self.current,
+        })
+        self.current = None
+        self._beat()
+
+    def _beat(self) -> None:
+        now = time.time()
+        if now - self.last_beat < self.interval_s:
+            return
+        self.last_beat = now
+        self._send({
+            "kind": "heartbeat",
+            "pid": os.getpid(),
+            "runs": self.runs,
+            "errors": self.errors,
+            "elapsed_s": round(now - self.started, 3),
+            "rss_mb": peak_rss_mb(),
+            "scenario": self.current,
+        })
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        try:
+            self.queue.put_nowait(message)
+        except Exception:  # noqa: BLE001 - telemetry must never fail a run
+            pass
+
+
+_REPORTER: Optional[_WorkerReporter] = None
+
+
+def _worker_init(queue: Any, interval_s: float) -> None:
+    """``ProcessPoolExecutor`` initializer: install the worker reporter."""
+    global _REPORTER
+    _REPORTER = _WorkerReporter(queue, interval_s)
+
+
+def worker_run_started(scenario: Any) -> None:
+    """Hook for the guarded run wrapper; no-op outside telemetry sweeps."""
+    if _REPORTER is not None:
+        _REPORTER.run_started(scenario)
+
+
+def worker_run_finished(ok: bool) -> None:
+    """Hook for the guarded run wrapper; no-op outside telemetry sweeps."""
+    if _REPORTER is not None:
+        _REPORTER.run_finished(ok)
+
+
+# --------------------------------------------------------------------------
+# Parent side: drain thread, live line, exports.
+# --------------------------------------------------------------------------
+class SweepTelemetry:
+    """One sweep's telemetry session: progress display + export writer.
+
+    Parameters
+    ----------
+    out_dir:
+        Directory receiving ``metrics.ndjson`` / ``metrics.prom`` /
+        ``manifest.json`` (created on :meth:`finish`).
+    label:
+        Human-readable sweep name shown on the progress line and recorded
+        in the export headers (e.g. ``"fig9"``).
+    interval_s:
+        Per-worker heartbeat throttle.
+    stream:
+        Where the progress line goes; defaults to ``sys.stderr``.  Pass
+        any text stream (tests use ``io.StringIO``).
+    live:
+        Force the in-place ``\\r`` line on or off; default auto-detects
+        ``stream.isatty()`` (non-TTYs get sparse plain lines instead).
+    """
+
+    def __init__(
+        self,
+        out_dir: Union[str, Path],
+        label: str = "sweep",
+        interval_s: float = _DEFAULT_INTERVAL_S,
+        stream: Optional[TextIO] = None,
+        live: Optional[bool] = None,
+    ) -> None:
+        self.out_dir = Path(out_dir)
+        self.label = label
+        self.interval_s = interval_s
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            isatty = getattr(self.stream, "isatty", None)
+            live = bool(isatty()) if callable(isatty) else False
+        self.live = live
+        self.registry = MetricsRegistry()
+
+        self.total = 0
+        self.done = 0
+        self.errors = 0
+        self.heartbeats = 0
+        self.retries = 0
+        self.workers_seen: set = set()
+        self.current: Optional[Dict[str, Any]] = None
+        self._started_at: Optional[float] = None
+        self._last_render = 0.0
+        self._wrote_line = False
+
+        self._manager: Any = None
+        self._queue: Any = None
+        self._drain: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self, total: int, processes: int = 1) -> None:
+        """Begin the session; with ``processes > 1`` also open the bus."""
+        self.total = total
+        self._started_at = time.time()
+        if processes > 1:
+            import multiprocessing
+
+            self._manager = multiprocessing.Manager()
+            self._queue = self._manager.Queue()
+            self._stop.clear()
+            self._drain = threading.Thread(
+                target=self._drain_loop, name="sweep-telemetry", daemon=True
+            )
+            self._drain.start()
+        self._render(force=True)
+
+    def pool_kwargs(self) -> Dict[str, Any]:
+        """``ProcessPoolExecutor`` kwargs installing the worker reporter."""
+        if self._queue is None:
+            return {}
+        return {
+            "initializer": _worker_init,
+            "initargs": (self._queue, self.interval_s),
+        }
+
+    def note_outcome(self, ok: bool, scenario: Any = None, retry: bool = False) -> None:
+        """Progress tick from the parent process (serial runs, retries)."""
+        if retry:
+            self.retries += 1
+        else:
+            self.done += 1
+        if not ok:
+            self.errors += 1
+        if scenario is not None:
+            self.current = {
+                "protocol": scenario.protocol,
+                "nodes": scenario.num_nodes,
+                "seed": scenario.seed,
+            }
+        self._render()
+
+    # ------------------------------------------------------------- messages
+    def _drain_loop(self) -> None:
+        import queue as queue_mod
+
+        while not self._stop.is_set():
+            try:
+                message = self._queue.get(timeout=0.2)
+            except (queue_mod.Empty, EOFError, OSError):
+                continue
+            self._handle(message)
+
+    def _handle(self, message: Dict[str, Any]) -> None:
+        kind = message.get("kind")
+        pid = message.get("pid")
+        if pid is not None:
+            self.workers_seen.add(pid)
+        if kind == "heartbeat":
+            self.heartbeats += 1
+            if message.get("scenario"):
+                self.current = message["scenario"]
+        elif kind == "run_end":
+            self.done += 1
+            if not message.get("ok", True):
+                self.errors += 1
+            if message.get("scenario"):
+                self.current = message["scenario"]
+        self._render()
+
+    # -------------------------------------------------------------- display
+    def _progress_line(self) -> str:
+        elapsed = time.time() - (self._started_at or time.time())
+        parts = [f"[{self.label}] {self.done}/{self.total} runs"]
+        if self.total:
+            parts[-1] += f" ({self.done * 100 // self.total}%)"
+        if self.workers_seen:
+            parts.append(f"{len(self.workers_seen)} workers")
+        if self.errors:
+            parts.append(f"{self.errors} errors")
+        parts.append(f"elapsed {elapsed:.0f}s")
+        if 0 < self.done < self.total:
+            eta = elapsed / self.done * (self.total - self.done)
+            parts.append(f"eta {eta:.0f}s")
+        if self.current:
+            parts.append(
+                f"{self.current.get('protocol')}/n={self.current.get('nodes')}"
+                f"/seed={self.current.get('seed')}"
+            )
+        return " · ".join(parts)
+
+    def _render(self, force: bool = False) -> None:
+        now = time.time()
+        if not force and now - self._last_render < _RENDER_PERIOD_S:
+            return
+        self._last_render = now
+        line = self._progress_line()
+        try:
+            if self.live:
+                self.stream.write("\r\x1b[2K" + line)
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+            self._wrote_line = True
+        except Exception:  # noqa: BLE001 - a dead stream must not kill runs
+            pass
+
+    def _close_line(self) -> None:
+        if self.live and self._wrote_line:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except Exception:  # noqa: BLE001
+                pass
+
+    # --------------------------------------------------------------- finish
+    def finish(
+        self,
+        scenarios: Sequence[Any],
+        results: Sequence[Any],
+    ) -> Dict[str, Path]:
+        """Stop the bus, reconcile against the results, write the exports.
+
+        The returned results are authoritative: live counters above are
+        best-effort transport (a saturated queue may drop a ``run_end``),
+        so done/error totals are recomputed here before export.  Returns
+        the written paths (``metrics`` / ``prometheus`` / ``manifest``).
+        """
+        from .sweep import RunError  # local: avoid an import cycle
+
+        if self._drain is not None:
+            # Give stragglers one throttle period to land, then stop.
+            time.sleep(min(0.3, self.interval_s))
+            self._stop.set()
+            self._drain.join(timeout=2.0)
+            self._drain = None
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+            self._queue = None
+
+        failures = [r for r in results if isinstance(r, RunError)]
+        self.done = len(results)
+        self.errors = len(failures)
+        wall_s = time.time() - (self._started_at or time.time())
+        self._render(force=True)
+        self._close_line()
+
+        registry = self.registry
+        for result in results:
+            snapshot = getattr(result, "metrics", None)
+            if snapshot:
+                registry.merge(snapshot)
+        ok = len(results) - len(failures)
+        if ok:
+            registry.counter("peas_sweep_runs_total", status="ok").inc(ok)
+        if failures:
+            registry.counter(
+                "peas_sweep_runs_total", status="error"
+            ).inc(len(failures))
+        if self.retries:
+            registry.counter("peas_sweep_retries_total").inc(self.retries)
+        if self.heartbeats:
+            registry.counter("peas_sweep_heartbeats_total").inc(self.heartbeats)
+        if self.workers_seen:
+            registry.gauge("peas_sweep_workers").set_max(len(self.workers_seen))
+        registry.gauge("peas_sweep_wall_seconds").set_max(wall_s)
+
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        manifest = self._build_manifest(scenarios, ok, len(failures), wall_s)
+        meta = {
+            "label": self.label,
+            "runs": len(results),
+            "ok": ok,
+            "errors": len(failures),
+            "git_sha": manifest["git_sha"],
+            "config_digest": manifest["config_digest"],
+        }
+        paths = {
+            "metrics": self.out_dir / "metrics.ndjson",
+            "prometheus": self.out_dir / "metrics.prom",
+            "manifest": self.out_dir / "manifest.json",
+        }
+        save_metrics(registry, paths["metrics"], meta=meta)
+        save_prometheus(registry, paths["prometheus"])
+        paths["manifest"].write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return paths
+
+    def _build_manifest(
+        self,
+        scenarios: Sequence[Any],
+        ok: int,
+        errors: int,
+        wall_s: float,
+    ) -> Dict[str, Any]:
+        """Sweep-level provenance: what ``inspect --diff`` checks for drift."""
+        hashes = sorted({config_hash(s) for s in scenarios})
+        protocols = sorted({getattr(s, "protocol", "?") for s in scenarios})
+        seeds = sorted({getattr(s, "seed", 0) for s in scenarios})
+        return {
+            "schema": SWEEP_MANIFEST_SCHEMA,
+            "label": self.label,
+            "runs": len(scenarios),
+            "ok": ok,
+            "errors": errors,
+            "retries": self.retries,
+            "heartbeats": self.heartbeats,
+            "workers": len(self.workers_seen),
+            "wall_s": round(wall_s, 3),
+            "git_sha": git_sha(),
+            "protocols": protocols,
+            "seed_range": [seeds[0], seeds[-1]] if seeds else [],
+            #: one hash per distinct scenario config, plus a digest of the
+            #: sorted set — the single value to compare across runs
+            "config_hashes": hashes,
+            "config_digest": config_hash(hashes),
+            "peak_rss_mb": peak_rss_mb(),
+            "argv": list(sys.argv),
+        }

@@ -179,6 +179,24 @@ class FaultEngine:
         times.sort()
         return times
 
+    def publish_metrics(self, metrics: Any) -> None:
+        """Fold this run's fault accounting into a
+        :class:`repro.obs.metrics.RunMetrics` collector.  Cold path:
+        called once per run by the harness, after the event loop."""
+        crash_deaths = self.ambient_injector.failures_injected
+        for injector in self._plan_crash_injectors:
+            crash_deaths += injector.failures_injected
+        metrics.record_faults(
+            injected=self.failures_injected,
+            events_by_kind={
+                "crash": crash_deaths,
+                "region_kill": self.region_kills,
+                "transient_outage": self.outages,
+                "clock_drift": self.nodes_skewed,
+            },
+            recoveries=self.restores,
+        )
+
     # ------------------------------------------------------------ internals
     def _build_crash(
         self, entry: CrashFault, rng: random.Random

@@ -38,11 +38,17 @@ class RunOptions:
         file next to it.  ``{seed}``, ``{nodes}`` and ``{protocol}``
         placeholders are substituted per scenario, so one template fans
         out to distinct files across a sweep.
+    metrics:
+        Collect a :class:`~repro.obs.metrics.RunMetrics` snapshot
+        (labeled counters/gauges/histograms) onto ``result.metrics``.
+        Collection happens entirely outside the event loop, so results
+        and traces are bit-identical either way.
     """
 
     profile: bool = False
     sanitize: bool = False
     trace_path: Optional[str] = None
+    metrics: bool = False
 
     def with_(self, **changes: Any) -> "RunOptions":
         """A copy with the given fields replaced."""

@@ -25,7 +25,10 @@ from ..experiments.metrics import (
 )
 from ..experiments.scenario import Scenario
 from ..faults import FaultEngine
+from ..net.columnar import backend_default
 from ..obs import build_manifest
+from ..obs.manifest import peak_rss_mb
+from ..obs.metrics import RunMetrics
 from ..obs.tracer import Tracer
 from ..protocols import BaselineRun, ProtocolRun, get_protocol
 from ..routing import GrabRouter, ReportTraffic
@@ -86,6 +89,15 @@ def run(
 
         path = Path(trace_file)
         save_manifest(result.manifest, path.parent / (path.stem + ".manifest.json"))
+        if result.profile is not None:
+            # Profile sidecar next to the trace, so ``peas-repro inspect
+            # --profile`` can surface the engine breakdown and gauge series
+            # long after the run.
+            import json
+
+            (path.parent / (path.stem + ".profile.json")).write_text(
+                json.dumps(result.profile, indent=2) + "\n", encoding="utf-8"
+            )
     return result
 
 
@@ -125,6 +137,12 @@ def _run(
     if options.profile:
         profiler = EngineProfiler()
         sim.profiler = profiler
+    run_metrics: Optional[RunMetrics] = None
+    if options.metrics:
+        run_metrics = RunMetrics(
+            protocol=scenario.protocol if protocol_factory is None else "custom",
+            backend=backend_default(),
+        )
 
     # --- coverage metric -------------------------------------------------
     grid = CoverageGrid(
@@ -204,6 +222,10 @@ def _run(
     faults.start()
     while not network.all_dead and sim.now < scenario.max_time_s:
         sim.run(until=sim.now + scenario.run_chunk_s)
+        # Metrics gauges are sampled *between* chunks: zero code runs
+        # inside the event loop, so the RNG draw sequence is untouched.
+        if run_metrics is not None:
+            run_metrics.sample_engine(sim)
     tracker.stop()
     if traffic is not None:
         traffic.stop()
@@ -257,6 +279,22 @@ def _run(
     if profiler is not None:
         sim.profiler = None
         result.profile = profiler.as_dict()
+    if run_metrics is not None:
+        channel = getattr(network, "channel", None)
+        if channel is not None:
+            channel.publish_metrics(run_metrics)
+        else:
+            # Baselines without a radio channel still report per-protocol
+            # counter dicts through the adapter.
+            run_metrics.record_channel(result.channel_counters)
+        faults.publish_metrics(run_metrics)
+        run_metrics.finish(
+            sim,
+            result,
+            wall_s=time.perf_counter() - wall_start,
+            rss_mb=peak_rss_mb(),
+        )
+        result.metrics = run_metrics.registry.snapshot()
 
     # --- provenance -----------------------------------------------------------
     trace_info = None

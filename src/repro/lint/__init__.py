@@ -13,6 +13,8 @@ Layout:
 * :mod:`repro.lint.rules_hotpath` — H2xx hot-path hygiene rules (over the
   :mod:`repro.lint.hotpaths` registry);
 * :mod:`repro.lint.rules_schema` — S3xx trace-schema consistency;
+* :mod:`repro.lint.rules_metrics` — S302 metric-name drift (call sites vs
+  the :data:`repro.obs.metrics.METRIC_NAMES` catalogue);
 * :mod:`repro.lint.baseline` — the accepted-findings ratchet;
 * :mod:`repro.lint.cli` — ``peas-lint`` / ``peas-repro lint``.
 

@@ -148,7 +148,12 @@ def all_checkers(
     (``determinism``).
     """
     # Import for registration side effects; late so the modules can import us.
-    from . import rules_determinism, rules_hotpath, rules_schema  # noqa: F401
+    from . import (  # noqa: F401
+        rules_determinism,
+        rules_hotpath,
+        rules_metrics,
+        rules_schema,
+    )
 
     def matches(cls: Type[Checker], tokens: Sequence[str]) -> bool:
         return cls.rule in tokens or cls.category in tokens or cls.name in tokens

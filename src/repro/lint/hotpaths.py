@@ -69,6 +69,9 @@ HOT_FUNCTIONS: Dict[str, FrozenSet[str]] = {
         "PEASNode._on_reply",
     }),
     "repro/core/protocol.py": frozenset({"PEASNetwork._energy_hook"}),
+    "repro/obs/metrics.py": frozenset({
+        "Counter.inc", "Gauge.set_max", "Histogram.observe",
+    }),
 }
 
 ENGINE_FAST_LOOPS: Dict[str, FrozenSet[str]] = {

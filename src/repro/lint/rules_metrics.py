@@ -1,0 +1,138 @@
+"""Metric-name consistency: call sites vs the instrument catalogue.
+
+``S302`` statically cross-checks every registry call site against
+:data:`repro.obs.metrics.METRIC_NAMES` so the ``peas-metrics/1``
+vocabulary cannot drift:
+
+* every literal ``peas_*`` name passed to ``.counter("...")``,
+  ``.gauge("...")`` or ``.histogram("...")`` must be declared in the
+  catalogue;
+* the method used must match the declared kind (a name declared as a
+  counter cannot be requested as a gauge).
+
+Like ``S301`` the rule is AST-only — it parses the catalogue out of
+``metrics.py`` rather than importing it, so it runs on trees that may not
+be importable.  Files outside a ``repro`` package tree (or trees without
+``repro/obs/metrics.py``) are skipped silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from .framework import Checker, FileContext, register
+from .violations import CATEGORY_SCHEMA, Violation
+
+__all__ = ["MetricNameDriftChecker"]
+
+#: registry methods whose first argument is an instrument name; the
+#: method name doubles as the declared kind it must match
+_REGISTRY_METHODS = ("counter", "gauge", "histogram")
+
+
+def _metric_table(tree: ast.Module) -> Optional[Dict[str, str]]:
+    """Parse metrics.py's ``METRIC_NAMES`` literal: name -> kind.
+
+    Returns ``None`` when the table exists but is no longer a literal
+    dict of string keys and ``(kind, help)`` string tuples.
+    """
+    for node in tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        target = node.targets[0] if isinstance(node, ast.Assign) else node.target
+        if not (isinstance(target, ast.Name) and target.id == "METRIC_NAMES"):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None
+        table: Dict[str, str] = {}
+        for key, value in zip(node.value.keys, node.value.values):
+            if not (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(value, ast.Tuple)
+                and value.elts
+                and isinstance(value.elts[0], ast.Constant)
+                and isinstance(value.elts[0].value, str)
+            ):
+                return None
+            table[key.value] = value.elts[0].value
+        return table
+    return None
+
+
+def _find_metrics_py(path: Path) -> Optional[Path]:
+    """Locate ``repro/obs/metrics.py`` in the tree containing ``path``."""
+    for parent in path.resolve().parents:
+        if parent.name == "repro":
+            candidate = parent / "obs" / "metrics.py"
+            return candidate if candidate.is_file() else None
+    return None
+
+
+@register
+class MetricNameDriftChecker(Checker):
+    rule = "S302"
+    name = "metric-name-drift"
+    category = CATEGORY_SCHEMA
+    description = (
+        "literal metric names passed to registry .counter()/.gauge()/"
+        ".histogram() calls must be declared in "
+        "repro.obs.metrics.METRIC_NAMES with a matching kind"
+    )
+
+    def applies_to(self, rel_path: str) -> bool:
+        return rel_path.endswith(".py")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        is_catalogue = ctx.path.name == "metrics.py" and (
+            ctx.path.parent.name == "obs"
+        )
+        if is_catalogue:
+            metrics_tree: Optional[ast.Module] = ctx.tree
+        else:
+            metrics_path = _find_metrics_py(ctx.path)
+            if metrics_path is None:
+                return
+            metrics_tree = ast.parse(metrics_path.read_text(encoding="utf-8"))
+        table = _metric_table(metrics_tree)
+        if table is None:
+            # Report the unparseable catalogue once, from metrics.py itself,
+            # rather than from every call-site file in the tree.
+            if is_catalogue:
+                yield ctx.violation(
+                    self, ctx.tree,
+                    "METRIC_NAMES is no longer statically parseable; keep it "
+                    "a literal dict of name -> (kind, help) string tuples",
+                )
+            return
+
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _REGISTRY_METHODS
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            name = node.args[0].value
+            # Only literal peas_* names are in scope: other objects may
+            # legitimately have counter()/gauge() methods of their own.
+            if not name.startswith("peas_"):
+                continue
+            declared = table.get(name)
+            if declared is None:
+                yield ctx.violation(
+                    self, node,
+                    f"metric name {name!r} is not declared in "
+                    "repro.obs.metrics.METRIC_NAMES",
+                )
+            elif declared != node.func.attr:
+                yield ctx.violation(
+                    self, node,
+                    f"metric {name!r} is declared as a {declared} but "
+                    f"requested via .{node.func.attr}()",
+                )

@@ -15,6 +15,11 @@ through the kernel and protocol layers:
   through;
 * :mod:`repro.obs.manifest` — run provenance (git SHA, config hash, seed,
   RNG streams, package versions, wall time, peak RSS);
+* :mod:`repro.obs.metrics` — the quantitative side: a dependency-free
+  registry of labeled counters/gauges/histograms, the ``peas-metrics/1``
+  NDJSON export, and a Prometheus text-exposition renderer;
+* :mod:`repro.obs.diff` — the cross-run comparator behind
+  ``peas-repro inspect --diff``;
 * :mod:`repro.obs.inspect` — trace summarization behind
   ``peas-repro inspect``.
 
@@ -25,7 +30,19 @@ Engine profiling lives beside the engine in :mod:`repro.sim.profiling`
 from ..sim.profiling import EngineProfiler
 from . import events
 from .inspect import TraceSummary, render_summary, summarize_trace
+from .diff import RunDiff, RunRecord, diff_runs, load_run, render_diff
 from .manifest import build_manifest, config_hash, git_sha, load_manifest, save_manifest
+from .metrics import (
+    METRIC_NAMES,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    RunMetrics,
+    load_metrics_file,
+    render_prometheus,
+    save_metrics,
+    save_prometheus,
+    validate_metrics_file,
+)
 from .schema import SCHEMA_VERSION, TRACE_EVENT_SCHEMA, validate_event, validate_trace_file
 from .sinks import NdjsonSink, NullSink, RingBufferSink, TraceSink
 from .tracer import Tracer, null_tracer
@@ -51,4 +68,18 @@ __all__ = [
     "summarize_trace",
     "render_summary",
     "EngineProfiler",
+    "METRICS_SCHEMA",
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "RunMetrics",
+    "save_metrics",
+    "load_metrics_file",
+    "validate_metrics_file",
+    "render_prometheus",
+    "save_prometheus",
+    "RunRecord",
+    "RunDiff",
+    "load_run",
+    "diff_runs",
+    "render_diff",
 ]

@@ -274,7 +274,7 @@ class Simulator:
                 self._executed += 1
                 fired += 1
                 if gauge_countdown <= 0:
-                    profiler.sample_gauges(len(queue), len(slots))
+                    profiler.sample_gauges(len(queue), len(slots), self._now)
                     gauge_countdown = _GAUGE_PERIOD
                 gauge_countdown -= 1
                 if max_events is not None and fired >= max_events:
@@ -282,7 +282,7 @@ class Simulator:
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
-            profiler.sample_gauges(len(queue), len(slots))
+            profiler.sample_gauges(len(queue), len(slots), self._now)
             self._running = False
 
     @contextmanager

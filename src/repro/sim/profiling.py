@@ -18,7 +18,7 @@ name.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["EngineProfiler", "LabelStats"]
 
@@ -26,6 +26,12 @@ __all__ = ["EngineProfiler", "LabelStats"]
 _HIST_BUCKETS = 30
 #: gauge sampling period, in executed events
 _GAUGE_PERIOD = 256
+#: gauge time-series cap: when reached, every other sample is dropped and
+#: the keep-stride doubles, so memory stays bounded while the series keeps
+#: covering the whole run at halving resolution
+_GAUGE_SERIES_CAP = 2048
+#: sparkline cells for the rendered gauge section
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
 
 
 class LabelStats:
@@ -82,6 +88,10 @@ class EngineProfiler:
         self.max_heap = 0
         self.max_live = 0
         self.max_tombstones = 0
+        #: decimated ``(sim_time, heap_size, live)`` samples across the run
+        self.gauge_series: List[Tuple[float, int, int]] = []
+        self._gauge_stride = 1
+        self._gauge_skip = 0
 
     # ------------------------------------------------------------ recording
     def record(self, label: str, dt: float) -> None:
@@ -92,9 +102,14 @@ class EngineProfiler:
         self.events += 1
         self.wall_s += dt
 
-    def sample_gauges(self, heap_size: int, live: int) -> None:
+    def sample_gauges(
+        self, heap_size: int, live: int, now: Optional[float] = None
+    ) -> None:
         """Record queue occupancy; called by the engine every
-        ``_GAUGE_PERIOD`` events and at attach/detach."""
+        ``_GAUGE_PERIOD`` events and at attach/detach.  When the engine
+        passes its clock, the sample also extends :attr:`gauge_series`
+        (decimated: past ``_GAUGE_SERIES_CAP`` points, every other sample
+        is dropped and the keep-stride doubles)."""
         if heap_size > self.max_heap:
             self.max_heap = heap_size
         if live > self.max_live:
@@ -102,6 +117,16 @@ class EngineProfiler:
         tombstones = heap_size - live
         if tombstones > self.max_tombstones:
             self.max_tombstones = tombstones
+        if now is not None:
+            if self._gauge_skip > 0:
+                self._gauge_skip -= 1
+            else:
+                series = self.gauge_series
+                series.append((now, heap_size, live))
+                if len(series) >= _GAUGE_SERIES_CAP:
+                    del series[1::2]
+                    self._gauge_stride *= 2
+                self._gauge_skip = self._gauge_stride - 1
 
     # ------------------------------------------------------------ reporting
     def as_dict(self) -> Dict[str, Any]:
@@ -116,6 +141,11 @@ class EngineProfiler:
                 "max_heap": self.max_heap,
                 "max_live": self.max_live,
                 "max_tombstones": self.max_tombstones,
+                # [sim_time, heap_size, live] triples; JSON has no tuples
+                "series": [
+                    [round(t, 6), heap, live]
+                    for t, heap, live in self.gauge_series
+                ],
             },
             "by_label": {label: stats.as_dict() for label, stats in ordered},
         }
@@ -125,20 +155,74 @@ class EngineProfiler:
         return self.render(self.as_dict(), limit=limit)
 
     @staticmethod
+    def _sparkline(values: Sequence[float], width: int = 56) -> str:
+        """Resample a series to ``width`` cells (bucket maxima) and render
+        each cell as a block character scaled to the series maximum."""
+        if not values:
+            return ""
+        top = max(values)
+        if top <= 0:
+            return _SPARK_CHARS[0] * min(width, len(values))
+        cells = min(width, len(values))
+        chars = []
+        for cell in range(cells):
+            lo = cell * len(values) // cells
+            hi = max(lo + 1, (cell + 1) * len(values) // cells)
+            peak = max(values[lo:hi])
+            index = round(peak / top * (len(_SPARK_CHARS) - 1))
+            chars.append(_SPARK_CHARS[index])
+        return "".join(chars)
+
+    @staticmethod
+    def render_gauges(profile: Dict[str, Any]) -> str:
+        """The "gauges" section: queue occupancy over simulated time.
+
+        Three sparklines (heap size, live events, tombstone ratio) over the
+        decimated gauge series, or just the high-water summary for profiles
+        recorded before the series existed."""
+        gauges = profile.get("gauges", {})
+        lines = [
+            f"gauges: max heap {gauges.get('max_heap', 0)}, "
+            f"max live {gauges.get('max_live', 0)}, "
+            f"max tombstones {gauges.get('max_tombstones', 0)}",
+        ]
+        series = gauges.get("series") or []
+        if series:
+            heaps = [float(s[1]) for s in series]
+            lives = [float(s[2]) for s in series]
+            ratios = [
+                (heap - live) / heap if heap else 0.0
+                for heap, live in zip(heaps, lives)
+            ]
+            span = f"t=[{series[0][0]:.0f}s..{series[-1][0]:.0f}s]"
+            spark = EngineProfiler._sparkline
+            lines.append(
+                f"  heap size  |{spark(heaps)}| peak {int(max(heaps))} {span}"
+            )
+            lines.append(
+                f"  live evts  |{spark(lives)}| peak {int(max(lives))}"
+            )
+            lines.append(
+                f"  tombstone% |{spark(ratios)}| peak {max(ratios) * 100:.0f}%"
+            )
+        return "\n".join(lines)
+
+    @staticmethod
     def render(profile: Dict[str, Any], limit: Optional[int] = None) -> str:
         """Render an :meth:`as_dict` payload (e.g. ``RunResult.profile``)."""
-        gauges = profile.get("gauges", {})
         wall_ms = profile.get("wall_s", 0.0) * 1e3
         total_ms = wall_ms or 1e-9
         lines = [
             f"engine profile: {profile.get('events', 0)} events, "
             f"{wall_ms:.1f} ms event self-time",
-            f"  gauges: max heap {gauges.get('max_heap', 0)}, "
-            f"max live {gauges.get('max_live', 0)}, "
-            f"max tombstones {gauges.get('max_tombstones', 0)}",
-            f"  {'label':<22} {'count':>9} {'total ms':>10} {'mean us':>9} "
-            f"{'max us':>9} {'share':>7}",
         ]
+        lines.extend(
+            "  " + line for line in EngineProfiler.render_gauges(profile).splitlines()
+        )
+        lines.append(
+            f"  {'label':<22} {'count':>9} {'total ms':>10} {'mean us':>9} "
+            f"{'max us':>9} {'share':>7}"
+        )
         by_label = list(profile.get("by_label", {}).items())
         if limit is not None:
             by_label = by_label[:limit]

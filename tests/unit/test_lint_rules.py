@@ -394,6 +394,105 @@ def test_s301_flags_conditional_key_collision(tmp_path):
     assert "collide" in messages
 
 
+# --------------------------------------------------------------------- S302
+_METRICS_TABLE = """
+METRIC_NAMES = {
+    "peas_runs_total": ("counter", "Runs completed."),
+    "peas_sim_heap_size": ("gauge", "Peak heap size."),
+    "peas_run_wall_seconds": ("histogram", "Wall seconds per run."),
+}
+"""
+
+
+def lint_metric_calls(tmp_path, rel, source, table=_METRICS_TABLE):
+    obs = tmp_path / "repro" / "obs"
+    obs.mkdir(parents=True, exist_ok=True)
+    (obs / "metrics.py").write_text(textwrap.dedent(table), encoding="utf-8")
+    return lint_snippet(tmp_path, rel, source, select=["S302"])
+
+
+def test_s302_accepts_declared_names(tmp_path):
+    assert lint_metric_calls(
+        tmp_path,
+        "repro/experiments/mod.py",
+        """
+        def f(registry, status):
+            registry.counter("peas_runs_total", status=status).inc()
+            registry.gauge("peas_sim_heap_size").set_max(4)
+            registry.histogram("peas_run_wall_seconds").observe(0.5)
+        """,
+    ) == []
+
+
+def test_s302_flags_undeclared_name_and_kind_mismatch(tmp_path):
+    found = lint_metric_calls(
+        tmp_path,
+        "repro/experiments/mod.py",
+        """
+        def f(registry):
+            registry.counter("peas_bogus_total").inc()
+            registry.gauge("peas_runs_total").set(1)
+        """,
+    )
+    messages = " | ".join(v.message for v in found)
+    assert rules_of(found) == ["S302", "S302"]
+    assert "not declared" in messages
+    assert "declared as a counter" in messages
+
+
+def test_s302_checks_the_catalogue_module_itself(tmp_path):
+    # Call sites inside metrics.py are checked against its own table.
+    found = lint_metric_calls(
+        tmp_path,
+        "repro/obs/metrics.py",
+        _METRICS_TABLE
+        + 'def f(registry):\n'
+          '    registry.histogram("peas_retired_seconds").observe(1.0)\n',
+    )
+    assert rules_of(found) == ["S302"]
+
+
+def test_s302_ignores_non_peas_names_and_foreign_trees(tmp_path):
+    # Other objects may have counter()/gauge() methods; only literal
+    # peas_* names are in scope.  Trees without repro/obs/metrics.py are
+    # skipped entirely.
+    assert lint_metric_calls(
+        tmp_path,
+        "repro/experiments/mod.py",
+        """
+        def f(widget):
+            widget.counter("clicks").inc()
+        """,
+    ) == []
+    assert lint_snippet(
+        tmp_path / "elsewhere",
+        "pkg/mod.py",
+        """
+        def f(registry):
+            registry.counter("peas_bogus_total").inc()
+        """,
+        select=["S302"],
+    ) == []
+
+
+def test_s302_flags_unparseable_catalogue_once(tmp_path):
+    # A computed table is reported from metrics.py itself, not from every
+    # call-site file in the tree.
+    table = "METRIC_NAMES = dict(build_table())\n"
+    found = lint_metric_calls(tmp_path, "repro/obs/metrics.py", table, table=table)
+    assert rules_of(found) == ["S302"]
+    assert "statically parseable" in found[0].message
+    assert lint_metric_calls(
+        tmp_path,
+        "repro/experiments/mod.py",
+        """
+        def f(registry):
+            registry.counter("peas_runs_total").inc()
+        """,
+        table=table,
+    ) == []
+
+
 # ---------------------------------------------------------------- framework
 def test_syntax_error_is_a_finding(tmp_path):
     found = lint_snippet(tmp_path, "broken.py", "def f(:\n")
@@ -442,7 +541,7 @@ def test_cli_exit_codes(tmp_path, capsys):
 
     assert run_lint(["--list-rules"]) == 0
     listing = capsys.readouterr().out
-    for rule in ("D101", "D102", "D103", "D104", "H201", "H202", "S301"):
+    for rule in ("D101", "D102", "D103", "D104", "H201", "H202", "S301", "S302"):
         assert rule in listing
 
 

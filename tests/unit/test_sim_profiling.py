@@ -4,7 +4,12 @@
 import pytest
 
 from repro.sim import EngineProfiler, SimulationError, Simulator
-from repro.sim.profiling import _GAUGE_PERIOD, _HIST_BUCKETS, LabelStats
+from repro.sim.profiling import (
+    _GAUGE_PERIOD,
+    _GAUGE_SERIES_CAP,
+    _HIST_BUCKETS,
+    LabelStats,
+)
 
 
 class TestLabelStats:
@@ -54,6 +59,7 @@ class TestEngineProfiler:
             "max_heap": 8,
             "max_live": 5,
             "max_tombstones": 3,
+            "series": [],
         }
 
     def test_report_renders(self):
@@ -75,6 +81,60 @@ class TestEngineProfiler:
         text = EngineProfiler.render(profiler.as_dict(), limit=2)
         assert sum(1 for line in text.splitlines() if "label" in line and "label0" != line) >= 1
         assert len(text.splitlines()) == 5  # 3 header lines + 2 label rows
+
+
+class TestGaugeSeries:
+    def test_timed_samples_extend_the_series(self):
+        profiler = EngineProfiler()
+        profiler.sample_gauges(heap_size=4, live=3, now=10.0)
+        profiler.sample_gauges(heap_size=8, live=5, now=20.0)
+        profiler.sample_gauges(heap_size=2, live=1)  # untimed: high-water only
+        assert profiler.gauge_series == [(10.0, 4, 3), (20.0, 8, 5)]
+        assert profiler.as_dict()["gauges"]["series"] == [[10.0, 4, 3], [20.0, 8, 5]]
+
+    def test_decimation_bounds_memory_and_spans_the_run(self):
+        profiler = EngineProfiler()
+        n = _GAUGE_SERIES_CAP * 4
+        for i in range(n):
+            profiler.sample_gauges(heap_size=i, live=i, now=float(i))
+        series = profiler.gauge_series
+        assert len(series) <= _GAUGE_SERIES_CAP
+        # Still covers the whole run: first sample kept, last near the end.
+        assert series[0][0] == 0.0
+        assert series[-1][0] >= n - profiler._gauge_stride
+        times = [t for t, _h, _l in series]
+        assert times == sorted(times)
+
+    def test_render_gauges_sparklines(self):
+        profiler = EngineProfiler()
+        for i in range(100):
+            profiler.sample_gauges(heap_size=100 + i, live=60 + i, now=float(i) * 10)
+        text = EngineProfiler.render_gauges(profiler.as_dict())
+        assert "max heap 199" in text
+        assert "heap size" in text and "live evts" in text and "tombstone%" in text
+        assert "t=[0s..990s]" in text
+
+    def test_render_gauges_degrades_without_series(self):
+        # Profiles recorded before the series existed still render.
+        text = EngineProfiler.render_gauges(
+            {"gauges": {"max_heap": 5, "max_live": 4, "max_tombstones": 1}}
+        )
+        assert text == "gauges: max heap 5, max live 4, max tombstones 1"
+
+    def test_engine_run_populates_series(self):
+        sim = Simulator()
+
+        def noop():
+            pass
+
+        for i in range(2 * _GAUGE_PERIOD):
+            sim.schedule(float(i), noop, label="tick")
+        with sim.profiled() as prof:
+            sim.run()
+        assert prof.gauge_series
+        assert all(t >= 0.0 for t, _h, _l in prof.gauge_series)
+        rendered = EngineProfiler.render(prof.as_dict())
+        assert "heap size" in rendered
 
 
 class TestProfiledRuns:
