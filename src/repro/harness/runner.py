@@ -13,7 +13,6 @@ comparisons usually die.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 from ..baselines.gaps import CellGapMonitor
@@ -27,7 +26,7 @@ from ..experiments.scenario import Scenario
 from ..faults import FaultEngine
 from ..net.columnar import backend_default
 from ..obs import build_manifest
-from ..obs.manifest import peak_rss_mb
+from ..obs.manifest import peak_rss_mb, wall_clock_s
 from ..obs.metrics import RunMetrics
 from ..obs.tracer import Tracer
 from ..protocols import BaselineRun, ProtocolRun, get_protocol
@@ -121,7 +120,7 @@ def _run(
     tracer: Optional[Tracer],
     protocol_factory: Optional[Callable],
 ) -> RunResult:
-    wall_start = time.perf_counter()
+    wall_start = wall_clock_s()
     sim = Simulator()
     rngs = RngRegistry(seed=scenario.seed)
     sanitizer: Optional[SimSanitizer] = None
@@ -291,7 +290,7 @@ def _run(
         run_metrics.finish(
             sim,
             result,
-            wall_s=time.perf_counter() - wall_start,
+            wall_s=wall_clock_s() - wall_start,
             rss_mb=peak_rss_mb(),
         )
         result.metrics = run_metrics.registry.snapshot()
@@ -308,7 +307,7 @@ def _run(
         config=scenario,
         protocol=scenario.protocol if protocol_factory is None else "custom",
         rng_streams=tuple(rngs.names()),
-        wall_time_s=time.perf_counter() - wall_start,
+        wall_time_s=wall_clock_s() - wall_start,
         events_executed=sim.events_executed,
         sim_end_time_s=sim.now,
         trace=trace_info,

@@ -17,6 +17,7 @@ __all__ = [
     "CATEGORY_DETERMINISM",
     "CATEGORY_HOT_PATH",
     "CATEGORY_SCHEMA",
+    "CATEGORY_CONCURRENCY",
     "CATEGORIES",
 ]
 
@@ -27,8 +28,15 @@ CATEGORY_DETERMINISM = "determinism"
 CATEGORY_HOT_PATH = "hot-path"
 #: Drift between the typed trace constructors and the published schema.
 CATEGORY_SCHEMA = "schema"
+#: Objects that cannot survive the pickle boundary into pool workers.
+CATEGORY_CONCURRENCY = "concurrency"
 
-CATEGORIES = (CATEGORY_DETERMINISM, CATEGORY_HOT_PATH, CATEGORY_SCHEMA)
+CATEGORIES = (
+    CATEGORY_DETERMINISM,
+    CATEGORY_HOT_PATH,
+    CATEGORY_SCHEMA,
+    CATEGORY_CONCURRENCY,
+)
 
 
 @dataclass(frozen=True)
@@ -48,6 +56,9 @@ class Violation:
     message: str
     #: stripped text of the offending source line (fingerprint input)
     source_line: str = field(default="", compare=False)
+    #: optional multi-line elaboration (e.g. a W401 call chain, printed by
+    #: ``peas-lint --explain <fingerprint>``); not part of the fingerprint
+    details: str = field(default="", compare=False)
 
     def fingerprint(self) -> str:
         """Stable identity for baselining: path + rule + line *content*."""
@@ -55,7 +66,7 @@ class Violation:
         return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "rule": self.rule,
             "name": self.name,
             "category": self.category,
@@ -65,6 +76,9 @@ class Violation:
             "message": self.message,
             "fingerprint": self.fingerprint(),
         }
+        if self.details:
+            payload["details"] = self.details
+        return payload
 
     def render(self) -> str:
         return (

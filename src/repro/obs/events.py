@@ -32,7 +32,7 @@ the fault, not any one sensor — plus the entry's model ``kind``.
 from __future__ import annotations
 
 import json
-from typing import Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional
 
 __all__ = [
     "STATE",
@@ -99,10 +99,10 @@ def state(
     dst: str,
     cause: Optional[str] = None,
     rate_hz: Optional[float] = None,
-) -> Dict:
+) -> Dict[str, Any]:
     """A node moved between protocol modes; ``cause`` qualifies deaths and
     turnoffs, ``rate_hz`` snapshots the wakeup rate on entry to Sleeping."""
-    event: Dict = {"t": t, "ev": STATE, "node": node, "from": src, "to": dst}
+    event: Dict[str, Any] = {"t": t, "ev": STATE, "node": node, "from": src, "to": dst}
     if cause is not None:
         event["cause"] = cause
     if rate_hz is not None:
@@ -110,31 +110,31 @@ def state(
     return event
 
 
-def probe_tx(t: float, node: Hashable, wakeup: int, idx: int) -> Dict:
+def probe_tx(t: float, node: Hashable, wakeup: int, idx: int) -> Dict[str, Any]:
     """PROBE ``idx`` of the burst belonging to wakeup number ``wakeup``."""
     return {"t": t, "ev": PROBE_TX, "node": node, "wakeup": wakeup, "idx": idx}
 
 
 def reply_tx(
     t: float, node: Hashable, lam: Optional[float], tw: float
-) -> Dict:
+) -> Dict[str, Any]:
     """A REPLY left ``node``: ``lam`` is the lambda-hat feedback it carries
     (null before the first usable measurement), ``tw`` its working duration."""
     return {"t": t, "ev": REPLY_TX, "node": node, "lam": lam, "tw": tw}
 
 
-def collision(t: float, node: Hashable, frames: int) -> Dict:
+def collision(t: float, node: Hashable, frames: int) -> Dict[str, Any]:
     """``frames`` newly corrupted frames overlapped at receiver ``node``."""
     return {"t": t, "ev": COLLISION, "node": node, "frames": frames}
 
 
-def drop(t: float, node: Hashable, why: str) -> Dict:
+def drop(t: float, node: Hashable, why: str) -> Dict[str, Any]:
     """A frame was lost at receiver ``node``; ``why`` is one of
     ``half_duplex`` / ``random`` / ``aborted``."""
     return {"t": t, "ev": DROP, "node": node, "why": why}
 
 
-def lambda_hat(t: float, node: Hashable, lam: float, window: int) -> Dict:
+def lambda_hat(t: float, node: Hashable, lam: float, window: int) -> Dict[str, Any]:
     """Working node ``node`` completed full measurement window ``window``
     with aggregate-rate estimate ``lam`` (eq. 3)."""
     return {"t": t, "ev": LAMBDA_HAT, "node": node, "lam": lam, "window": window}
@@ -142,39 +142,39 @@ def lambda_hat(t: float, node: Hashable, lam: float, window: int) -> Dict:
 
 def rate(
     t: float, node: Hashable, old_hz: float, new_hz: float, lam: float
-) -> Dict:
+) -> Dict[str, Any]:
     """Sleeper ``node`` rescaled its rate ``old_hz`` -> ``new_hz`` against
     the REPLY feedback ``lam`` (eq. 2)."""
     return {"t": t, "ev": RATE, "node": node, "old_hz": old_hz, "new_hz": new_hz, "lam": lam}
 
 
-def fail(t: float, node: Hashable) -> Dict:
+def fail(t: float, node: Hashable) -> Dict[str, Any]:
     """The failure injector destroyed ``node`` (a non-energy death)."""
     return {"t": t, "ev": FAIL, "node": node}
 
 
-def energy(t: float, node: Hashable, cat: str, joules: float) -> Dict:
+def energy(t: float, node: Hashable, cat: str, joules: float) -> Dict[str, Any]:
     """``joules`` were charged to accounting category ``cat`` at ``node``."""
     return {"t": t, "ev": ENERGY, "node": node, "cat": cat, "j": joules}
 
 
-def fault_arm(t: float, fault: str, kind: str) -> Dict:
+def fault_arm(t: float, fault: str, kind: str) -> Dict[str, Any]:
     """Fault-plan entry ``fault`` (of model ``kind``) armed its process."""
     return {"t": t, "ev": FAULT_ARM, "node": fault, "kind": kind}
 
 
-def fault_fire(t: float, fault: str, kind: str, victims: int) -> Dict:
+def fault_fire(t: float, fault: str, kind: str, victims: int) -> Dict[str, Any]:
     """Entry ``fault`` struck, affecting ``victims`` nodes at once."""
     return {"t": t, "ev": FAULT_FIRE, "node": fault, "kind": kind, "victims": victims}
 
 
-def fault_clear(t: float, fault: str, kind: str) -> Dict:
+def fault_clear(t: float, fault: str, kind: str) -> Dict[str, Any]:
     """A fired instance of entry ``fault`` ended (outage restored, window
     closed); instantaneous models never emit this."""
     return {"t": t, "ev": FAULT_CLEAR, "node": fault, "kind": kind}
 
 
-def encode_event(event: Dict) -> str:
+def encode_event(event: Dict[str, Any]) -> str:
     """Canonical single-line JSON: sorted keys, no whitespace.
 
     The sorted, compact form is what makes golden traces byte-stable: two

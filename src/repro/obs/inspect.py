@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
 from . import events as ev
 from .schema import iter_trace_file
@@ -108,10 +108,10 @@ class TraceSummary:
         return recoveries
 
 
-def summarize_trace(events: Iterable[Dict]) -> TraceSummary:
+def summarize_trace(events: Iterable[Dict[str, Any]]) -> TraceSummary:
     """Single-pass fold of decoded events into a :class:`TraceSummary`."""
     summary = TraceSummary()
-    by_type: Counter = Counter()
+    by_type: Counter[str] = Counter()
     for event in events:
         summary.n_events += 1
         t = event.get("t", 0.0)

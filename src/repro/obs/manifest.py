@@ -19,6 +19,7 @@ import json
 import platform
 import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Union
 
@@ -28,12 +29,27 @@ __all__ = [
     "git_sha",
     "package_versions",
     "peak_rss_mb",
+    "wall_clock_s",
     "build_manifest",
     "save_manifest",
     "load_manifest",
 ]
 
 MANIFEST_SCHEMA = "peas-manifest/1"
+
+
+def wall_clock_s() -> float:  # peas-lint: wallclock-boundary
+    """Monotonic wall-clock reading for manifest ``timing`` provenance.
+
+    The single audited host-clock read the simulation stack is allowed to
+    reach: harness and CLI code time *runs* (never simulated events)
+    through this helper, and its value only ever lands in the volatile
+    ``timing`` block that bit-identity comparisons drop.  The marker on
+    the ``def`` line tells the whole-program lint rule (``W401``) not to
+    traverse it; calling it from event-driven code would still be caught
+    at any un-audited ``time.*`` site.
+    """
+    return time.perf_counter()
 
 
 def _canonical(obj: Any) -> Any:
@@ -164,7 +180,7 @@ def save_manifest(manifest: Dict[str, Any], path: Union[str, Path]) -> None:
 
 def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     """Read back a manifest, checking the schema marker."""
-    manifest = json.loads(Path(path).read_text())
+    manifest: Dict[str, Any] = json.loads(Path(path).read_text())
     if manifest.get("schema") != MANIFEST_SCHEMA:
         raise ValueError(f"unsupported manifest schema {manifest.get('schema')!r}")
     return manifest

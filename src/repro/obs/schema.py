@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from . import events as ev
 
@@ -53,7 +53,7 @@ _FAULT_KINDS = (
 )
 
 
-def _variant(ev_type: str, extra: Dict) -> Dict:
+def _variant(ev_type: str, extra: Dict[str, Any]) -> Dict[str, Any]:
     """One ``oneOf`` arm of the published schema."""
     properties = {
         "t": {"type": "number", "minimum": 0},
@@ -69,7 +69,7 @@ def _variant(ev_type: str, extra: Dict) -> Dict:
     }
 
 
-TRACE_EVENT_SCHEMA: Dict = {
+TRACE_EVENT_SCHEMA: Dict[str, Any] = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
     "$id": SCHEMA_VERSION,
     "title": "PEAS reproduction trace event",
@@ -160,13 +160,14 @@ def validate_event(event: object) -> Optional[str]:
     return None
 
 
-def iter_trace_file(path: Union[str, Path]) -> Iterator[Dict]:
+def iter_trace_file(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
     """Stream the decoded events of an NDJSON trace file."""
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                yield json.loads(line)
+                event: Dict[str, Any] = json.loads(line)
+                yield event
 
 
 def validate_trace_file(path: Union[str, Path], max_errors: int = 20) -> List[str]:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from pathlib import Path
-from typing import Deque, Dict, List, Optional, Protocol, Union
+from typing import Any, Deque, Dict, List, Optional, Protocol, Union
 
 from .events import encode_event
 
@@ -34,7 +34,7 @@ class TraceSink(Protocol):
     emitted: int
     dropped: int
 
-    def emit(self, event: Dict) -> None: ...
+    def emit(self, event: Dict[str, Any]) -> None: ...
 
     def close(self) -> None: ...
 
@@ -48,7 +48,7 @@ class NullSink:
         self.emitted = 0
         self.dropped = 0
 
-    def emit(self, event: Dict) -> None:
+    def emit(self, event: Dict[str, Any]) -> None:
         pass
 
     def close(self) -> None:
@@ -69,9 +69,9 @@ class RingBufferSink:
         self.capacity = capacity
         self.emitted = 0
         self.dropped = 0
-        self._buffer: Deque[Dict] = deque(maxlen=capacity)
+        self._buffer: Deque[Dict[str, Any]] = deque(maxlen=capacity)
 
-    def emit(self, event: Dict) -> None:
+    def emit(self, event: Dict[str, Any]) -> None:
         self.emitted += 1
         if self.capacity is not None and len(self._buffer) == self.capacity:
             self.dropped += 1
@@ -80,7 +80,7 @@ class RingBufferSink:
     def close(self) -> None:
         pass
 
-    def events(self, ev_type: Optional[str] = None) -> List[Dict]:
+    def events(self, ev_type: Optional[str] = None) -> List[Dict[str, Any]]:
         """Snapshot of the retained events, optionally filtered by type."""
         if ev_type is None:
             return list(self._buffer)
@@ -117,7 +117,7 @@ class NdjsonSink:
         self._written = 0
         self._handle = open(self.path, "w", encoding="utf-8")
 
-    def emit(self, event: Dict) -> None:
+    def emit(self, event: Dict[str, Any]) -> None:
         line = encode_event(event) + "\n"
         if (
             self.rotate_bytes is not None

@@ -10,7 +10,7 @@ observability bench).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from .sinks import NullSink, TraceSink
 
@@ -35,7 +35,7 @@ class Tracer:
         instrumented component applies to its ``tracer`` argument."""
         return self if self.enabled else None
 
-    def emit(self, event: Dict) -> None:
+    def emit(self, event: Dict[str, Any]) -> None:
         self.sink.emit(event)
 
     def close(self) -> None:

@@ -25,6 +25,7 @@ from .events import (
 )
 from .process import PeriodicProcess, Timer, start_process
 from .rng import RngRegistry, derive_seed
+from .streams import STREAM_NAMES, stream_declared
 from .trace import CounterSet, SeriesRecorder, TimeWeightedValue, TraceLog
 
 __all__ = [
@@ -43,6 +44,8 @@ __all__ = [
     "start_process",
     "RngRegistry",
     "derive_seed",
+    "STREAM_NAMES",
+    "stream_declared",
     "CounterSet",
     "TimeWeightedValue",
     "SeriesRecorder",

@@ -1,0 +1,179 @@
+"""The ``peas-lint`` CLI contract: exit codes, cache, graph and explain.
+
+CI and the pre-commit hook script against these exit codes, so they are
+pinned here rather than implied: 0 clean, 1 new findings, 2 usage error.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.cli import run_lint
+from repro.lint.graph import CACHE_FILENAME
+
+CLOCKY = """
+    import time
+
+    def schedule():
+        return time.time()
+"""
+
+
+def write_tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path
+
+
+def lint(tmp_path, *extra):
+    return run_lint([str(tmp_path / "repro"), "--root", str(tmp_path), *extra])
+
+
+# ----------------------------------------------------------------- exit codes
+def test_exit_0_on_empty_tree(tmp_path, capsys):
+    (tmp_path / "repro").mkdir()
+    assert lint(tmp_path) == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_exit_0_on_clean_tree(tmp_path):
+    write_tree(tmp_path, {"repro/sim/ok.py": "def f():\n    return 1\n"})
+    assert lint(tmp_path) == 0
+
+
+def test_exit_1_on_findings(tmp_path, capsys):
+    write_tree(tmp_path, {"repro/sim/engine.py": CLOCKY})
+    assert lint(tmp_path) == 1
+    assert "D103" in capsys.readouterr().out
+
+
+def test_exit_1_on_syntax_error_file(tmp_path, capsys):
+    write_tree(tmp_path, {"repro/sim/bad.py": "def broken(:\n"})
+    assert lint(tmp_path) == 1
+    assert "E000" in capsys.readouterr().out
+
+
+def test_exit_2_on_unknown_rule_id(tmp_path, capsys):
+    write_tree(tmp_path, {"repro/sim/ok.py": "x = 1\n"})
+    assert lint(tmp_path, "--select", "Z999") == 2
+    assert "Z999" in capsys.readouterr().err
+
+
+def test_exit_2_on_missing_path(tmp_path, capsys):
+    assert run_lint([str(tmp_path / "nowhere")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- graph
+def test_graph_json_dump_exits_0_even_with_findings(tmp_path, capsys):
+    write_tree(tmp_path, {"repro/sim/engine.py": CLOCKY})
+    assert lint(tmp_path, "--graph", "json") == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "peas-callgraph/1"
+    assert "repro.sim.engine" in payload["modules"]
+
+
+def test_graph_dot_dump(tmp_path, capsys):
+    write_tree(tmp_path, {
+        "repro/sim/a.py": "def callee():\n    return 1\n\n"
+                          "def caller():\n    return callee()\n",
+    })
+    assert lint(tmp_path, "--graph", "dot") == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert '"repro.sim.a.caller" -> "repro.sim.a.callee";' in out
+
+
+# -------------------------------------------------------------------- explain
+def _fingerprint_of(tmp_path, capsys):
+    assert lint(tmp_path, "--format", "json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    return payload["new"][0]
+
+
+def test_explain_prints_chain_and_exits_0(tmp_path, capsys):
+    write_tree(tmp_path, {
+        "repro/analysis/helpers.py": """
+            import time
+
+            def stamp():
+                return time.time()
+        """,
+        "repro/sim/engine.py": """
+            from ..analysis.helpers import stamp
+
+            def schedule():
+                return stamp()
+        """,
+    })
+    fingerprint = _fingerprint_of(tmp_path, capsys)
+    assert lint(tmp_path, "--explain", fingerprint) == 0
+    out = capsys.readouterr().out
+    assert f"fingerprint: {fingerprint}" in out
+    assert "call chain:" in out
+    assert "repro.analysis.helpers.stamp" in out
+
+
+def test_explain_unknown_fingerprint_exits_2(tmp_path, capsys):
+    write_tree(tmp_path, {"repro/sim/ok.py": "x = 1\n"})
+    assert lint(tmp_path, "--explain", "deadbeefdeadbeef") == 2
+    assert "no finding" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------- baseline
+def test_update_baseline_refuses_determinism_findings(tmp_path, capsys):
+    write_tree(tmp_path, {
+        "repro/analysis/helpers.py": """
+            import time
+
+            def stamp():
+                return time.time()
+        """,
+        "repro/sim/engine.py": """
+            from ..analysis.helpers import stamp
+
+            def schedule():
+                return stamp()
+        """,
+    })
+    baseline = tmp_path / "baseline.json"
+    code = lint(tmp_path, "--baseline", str(baseline), "--update-baseline")
+    assert code == 2
+    assert "determinism" in capsys.readouterr().err
+    assert not baseline.exists()
+
+
+# ---------------------------------------------------------------------- cache
+def test_cache_file_written_and_reused(tmp_path, capsys):
+    write_tree(tmp_path, {"repro/sim/ok.py": "def f():\n    return 1\n"})
+    assert lint(tmp_path) == 0
+    cache_path = tmp_path / CACHE_FILENAME
+    assert cache_path.exists()
+    cold = json.loads(cache_path.read_text(encoding="utf-8"))
+    assert "repro/sim/ok.py" in cold["entries"]
+
+
+def test_cli_cache_invalidation_on_content_change_only(tmp_path, capsys):
+    write_tree(tmp_path, {"repro/sim/ok.py": "def f():\n    return 1\n"})
+
+    def stats():
+        assert lint(tmp_path, "--graph", "json") == 0
+        return json.loads(capsys.readouterr().out)["stats"]
+
+    assert stats() == {"parsed": 1, "cached": 0}
+    # mtime-only touch: still warm
+    (tmp_path / "repro/sim/ok.py").touch()
+    assert stats() == {"parsed": 0, "cached": 1}
+    # content change: that file re-parses
+    (tmp_path / "repro/sim/ok.py").write_text(
+        "def f():\n    return 2\n", encoding="utf-8")
+    assert stats() == {"parsed": 1, "cached": 0}
+
+
+def test_no_cache_flag_skips_the_cache_file(tmp_path, capsys):
+    write_tree(tmp_path, {"repro/sim/ok.py": "def f():\n    return 1\n"})
+    assert lint(tmp_path, "--no-cache") == 0
+    assert not (tmp_path / CACHE_FILENAME).exists()

@@ -1,0 +1,98 @@
+"""The STREAM_NAMES catalogue must cover — and be covered by — the tree.
+
+Like the hot-path registry self-check, this pins the catalogue to reality:
+a stream name used at a call site but missing from the catalogue would fork
+RNG state silently on the next rename (caught here and by lint rule W402),
+and a catalogue entry no call site uses is dead weight that hides drift.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.graph import build_program
+from repro.lint.rules_flow import (
+    STREAMS_MODULE,
+    load_stream_catalogue,
+    stream_name_declared,
+)
+from repro.sim.streams import STREAM_NAMES, stream_declared
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_program([SRC / "repro"], root=SRC.parent)
+
+
+def _call_site_refs(graph):
+    """All name-carrying registry call sites outside the registry itself."""
+    refs = []
+    for module in sorted(graph.by_module):
+        summary = graph.by_module[module]
+        if summary.rel_path.endswith("repro/sim/rng.py"):
+            continue
+        refs.extend(summary.streams)
+    return refs
+
+
+def test_catalogue_is_alphabetical():
+    assert list(STREAM_NAMES) == sorted(STREAM_NAMES)
+
+
+def test_every_entry_has_a_description():
+    for name, description in STREAM_NAMES.items():
+        assert description.strip(), f"catalogue entry {name!r} has no description"
+
+
+def test_every_call_site_is_declared(graph):
+    refs = _call_site_refs(graph)
+    assert refs, "no stream call sites found — extraction is broken"
+    for ref in refs:
+        if ref.name is not None:
+            assert stream_declared(ref.name), (
+                f"stream {ref.name!r} used at a call site but not declared "
+                "in STREAM_NAMES"
+            )
+        else:
+            assert ref.prefix is not None, (
+                "dynamic stream name in the tree; W402 should have failed CI"
+            )
+            assert stream_declared(ref.prefix + "suffix"), (
+                f"f-string stream prefix {ref.prefix!r} matches no declared "
+                "family in STREAM_NAMES"
+            )
+
+
+def test_every_declared_name_is_used(graph):
+    refs = _call_site_refs(graph)
+    literal_names = {ref.name for ref in refs if ref.name is not None}
+    prefixes = {ref.prefix for ref in refs if ref.prefix is not None}
+    for name in STREAM_NAMES:
+        if name.endswith(".*"):
+            base = name[:-1]
+            assert any(p.startswith(base) for p in prefixes), (
+                f"declared family {name!r} has no f-string call site"
+            )
+        else:
+            assert name in literal_names, (
+                f"declared stream {name!r} has no call site; remove it or "
+                "use it"
+            )
+
+
+def test_stream_declared_covers_families():
+    assert stream_declared("node.0")
+    assert stream_declared("faults.3.region")
+    assert not stream_declared("nodeX")
+    assert not stream_declared("unheard-of")
+
+
+def test_ast_catalogue_matches_imported_catalogue(graph):
+    """W402 parses the catalogue as AST; it must see the same dict."""
+    catalogue = load_stream_catalogue(graph)
+    assert catalogue is not None, f"{STREAMS_MODULE} not found in lint scope"
+    assert catalogue == STREAM_NAMES
+    for name in STREAM_NAMES:
+        assert stream_name_declared(name, catalogue) == stream_declared(name)
