@@ -29,7 +29,8 @@ from ..energy import (
     summarize_energy,
 )
 from ..net import Field, Point
-from ..sim import CounterSet, Simulator, Timer
+from ..sim import CounterSet, Simulator, Timer, register_handler
+from ..sim.handlers import RestoreContext
 
 __all__ = ["BaselineNode", "BaselineNetwork"]
 
@@ -56,7 +57,12 @@ class BaselineNode:
         self.alive = True
         self._on_working_change = on_working_change
         self._on_death = on_death
-        self._death_timer = Timer(sim, self.die, label="baseline-depletion")
+        self._death_timer = Timer(
+            sim,
+            self.die,
+            label="baseline-depletion",
+            handler=("baseline.depletion", (node_id,)),
+        )
 
     # ------------------------------------------------------------- control
     def set_working(self, working: bool) -> None:
@@ -98,6 +104,21 @@ class BaselineNode:
 
     def remaining_energy(self) -> float:
         return self.battery.remaining(self.sim.now)
+
+    # ------------------------------------------------------------- snapshot
+    def state_dict(self) -> dict:
+        return {
+            "working": self.working,
+            "alive": self.alive,
+            "battery": self.battery.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore fields directly — observer side effects already happened
+        in the snapshotted run; the network restores its own sets."""
+        self.working = bool(state["working"])
+        self.alive = bool(state["alive"])
+        self.battery.load_state(state["battery"])
 
     # ------------------------------------------------------------ internals
     def _reschedule_death(self) -> None:
@@ -175,6 +196,26 @@ class BaselineNetwork:
             (node.battery for node in self.nodes.values()), self.sim.now
         )
 
+    # ------------------------------------------------------------- snapshot
+    def state_dict(self) -> dict:
+        return {
+            "counters": self.counters.state_dict(),
+            "alive": sorted(self._alive),
+            "working": sorted(self._working),
+            "nodes": [
+                [node_id, node.state_dict()] for node_id, node in self.nodes.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore into a freshly constructed (never started) population."""
+        self.counters.load_state(state["counters"])
+        saved = {node_id: node_state for node_id, node_state in state["nodes"]}
+        for node_id, node in self.nodes.items():
+            node.load_state(saved[node_id])
+        self._alive = set(state["alive"])
+        self._working = set(state["working"])
+
     # ------------------------------------------------------------ internals
     def _working_changed(self, node: BaselineNode, working: bool) -> None:
         if working:
@@ -186,3 +227,9 @@ class BaselineNetwork:
 
     def _node_died(self, node: BaselineNode) -> None:
         self._alive.discard(node.node_id)
+
+
+@register_handler("baseline.depletion")
+def _resolve_baseline_depletion(ctx: RestoreContext, event) -> None:
+    node_id = event.handler[1][0]
+    ctx.component("network").nodes[node_id]._death_timer.adopt(event)

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import random
 
-from ..sim import Simulator
+from ..sim import Simulator, register_handler
+from ..sim.handlers import RestoreContext
 from .base import BaselineNetwork, BaselineNode
 
 __all__ = ["DutyCycleProtocol"]
@@ -56,7 +57,10 @@ class DutyCycleProtocol:
         on_time = self.duty * self.period_s
         for node in self.network.nodes.values():
             phase = self.rng.uniform(0.0, self.period_s)
-            sim.schedule(phase, self._turn_on, node, on_time, label="ris-on")
+            sim.schedule(
+                phase, self._turn_on, node, on_time, label="ris-on",
+                handler=("duty.on", (node.node_id, on_time)),
+            )
 
     # ------------------------------------------------------------ internals
     def _turn_on(self, node: BaselineNode, on_time: float) -> None:
@@ -65,13 +69,33 @@ class DutyCycleProtocol:
         node.set_working(True)
         if self.duty >= 1.0:
             return
-        self.network.sim.schedule(on_time, self._turn_off, node, label="ris-off")
+        self.network.sim.schedule(
+            on_time, self._turn_off, node, label="ris-off",
+            handler=("duty.off", (node.node_id,)),
+        )
 
     def _turn_off(self, node: BaselineNode) -> None:
         if not node.alive:
             return
         node.set_working(False)
         off_time = self.period_s - self.duty * self.period_s
+        on_time = self.duty * self.period_s
         self.network.sim.schedule(
-            off_time, self._turn_on, node, self.duty * self.period_s, label="ris-on"
+            off_time, self._turn_on, node, on_time, label="ris-on",
+            handler=("duty.on", (node.node_id, on_time)),
         )
+
+
+@register_handler("duty.on")
+def _resolve_duty_on(ctx: RestoreContext, event) -> None:
+    run = ctx.component("protocol")
+    node_id, on_time = event.handler[1]
+    event.fn = run.protocol._turn_on
+    event.args = (run.network.nodes[node_id], float(on_time))
+
+
+@register_handler("duty.off")
+def _resolve_duty_off(ctx: RestoreContext, event) -> None:
+    run = ctx.component("protocol")
+    event.fn = run.protocol._turn_off
+    event.args = (run.network.nodes[event.handler[1][0]],)

@@ -5,6 +5,8 @@ Commands mirror the paper's evaluation artifacts::
     peas-repro run --nodes 320 --seed 1          # one scenario, full metrics
     peas-repro run --protocol duty_cycle          # any registered protocol
     peas-repro run --faults plan.json             # run under a fault plan
+    peas-repro run --snapshot ck.json --stop-after 2000   # resumable prefix
+    peas-repro run --restore ck.json --trace suffix.ndjson  # continue it
     peas-repro robustness                         # fault-regime sweep
     peas-repro fig9                               # coverage lifetime vs N
     peas-repro fig10 / fig11 / table1             # delivery / wakeups / energy
@@ -52,11 +54,7 @@ from .sim import RngRegistry
 __all__ = ["main"]
 
 
-def _cmd_run(args: argparse.Namespace) -> None:
-    from pathlib import Path
-
-    from .obs import NdjsonSink, Tracer, save_manifest
-
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
     scenario = Scenario(
         num_nodes=args.nodes,
         seed=args.seed,
@@ -69,6 +67,19 @@ def _cmd_run(args: argparse.Namespace) -> None:
         from .faults import load_fault_plan
 
         scenario = scenario.with_(fault_plan=load_fault_plan(args.faults))
+    return scenario
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .obs import NdjsonSink, Tracer, save_manifest
+
+    if (args.snapshot or args.restore or args.checkpoint_every is not None
+            or args.stop_after is not None):
+        _cmd_run_snapshot(args)
+        return
+    scenario = _scenario_from_args(args)
     tracer = None
     if args.trace:
         tracer = Tracer(NdjsonSink(args.trace))
@@ -84,10 +95,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         trace_path = Path(args.trace)
         manifest_path = trace_path.parent / (trace_path.stem + ".manifest.json")
         save_manifest(result.manifest, manifest_path)
-        stats = result.manifest.get("trace", {})
-        print(f"trace: {trace_path} ({stats.get('emitted', 0)} events, "
-              f"{stats.get('dropped', 0)} dropped)")
-        print(f"manifest: {manifest_path}")
+        _print_trace_lines(args, result)
         if result.profile is not None:
             import json
 
@@ -96,6 +104,73 @@ def _cmd_run(args: argparse.Namespace) -> None:
                 json.dumps(result.profile, indent=2) + "\n", encoding="utf-8"
             )
             print(f"profile: {profile_path}")
+    _print_run_summary(args, result)
+
+
+def _cmd_run_snapshot(args: argparse.Namespace) -> None:
+    """``run`` with any snapshot/restore flag: the harness owns the whole
+    capability stack (trace sink + manifest sidecar included)."""
+    from .harness import RunOptions, resume, run
+    from .harness.snapshot import load_snapshot
+    from .sim import SnapshotError
+
+    options = RunOptions(
+        profile=args.profile,
+        sanitize=args.sanitize,
+        trace_path=args.trace,
+        snapshot_path=args.snapshot,
+        checkpoint_every_s=args.checkpoint_every,
+        stop_after_s=args.stop_after,
+    )
+    if args.restore:
+        try:
+            snapshot = load_snapshot(args.restore)
+            changes = {}
+            if args.fork_failure_rate is not None:
+                changes["failure_per_5000s"] = args.fork_failure_rate
+            if args.fork_faults:
+                from .faults import load_fault_plan
+
+                changes["fault_plan"] = load_fault_plan(args.fork_faults)
+            if args.fork_max_time is not None:
+                changes["max_time_s"] = args.fork_max_time
+            from .experiments import scenario_from_dict
+
+            effective = scenario_from_dict(snapshot["scenario"])
+            scenario = None
+            if changes:
+                scenario = effective.with_(**changes)
+                effective = scenario
+            provenance = snapshot.get("provenance", {})
+            mode = "fork" if changes else "resume"
+            print(f"restore: {args.restore} "
+                  f"(t={provenance.get('created_at_sim_s')}s, {mode})")
+            result = resume(
+                snapshot, options, scenario=scenario, force=args.force_restore
+            )
+        except SnapshotError as exc:
+            raise SystemExit(f"restore: {exc}")
+    else:
+        effective = _scenario_from_args(args)
+        result = run(effective, options)
+    if args.snapshot:
+        print(f"snapshot: {options.resolved_snapshot_path(effective)}")
+    if args.trace:
+        _print_trace_lines(args, result)
+    _print_run_summary(args, result)
+
+
+def _print_trace_lines(args: argparse.Namespace, result) -> None:
+    from pathlib import Path
+
+    trace_path = Path(args.trace)
+    stats = result.manifest.get("trace", {})
+    print(f"trace: {trace_path} ({stats.get('emitted', 0)} events, "
+          f"{stats.get('dropped', 0)} dropped)")
+    print(f"manifest: {trace_path.parent / (trace_path.stem + '.manifest.json')}")
+
+
+def _print_run_summary(args: argparse.Namespace, result) -> None:
     print(f"nodes={result.num_nodes} seed={result.seed} end_time={result.end_time:.0f}s")
     for k in sorted(result.coverage_lifetimes):
         print(f"  {k}-coverage lifetime: {result.coverage_lifetimes[k]}")
@@ -118,7 +193,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     if args.sanitize:
         print(f"  sanitizer: {result.extras.get('sanitizer_checks', 0):.0f} "
               f"invariant checks, 0 violations")
-    if result.extras:
+    if "gap_count" in result.extras:
         print(f"  replacement gaps: n={result.extras['gap_count']:.0f} "
               f"mean={result.extras['gap_mean_s']:.1f}s "
               f"p95={result.extras['gap_p95_s']:.1f}s")
@@ -407,6 +482,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run with cheap invariant assertions (monotonic "
                             "event time, legal transmissions, battery and "
                             "estimator well-formedness); off by default")
+    run_p.add_argument("--snapshot", metavar="PATH", default=None,
+                       help="write a peas-snapshot/1 checkpoint (supports "
+                            "{seed}/{nodes}/{protocol} placeholders); on its "
+                            "own, one final snapshot at the end of the run")
+    run_p.add_argument("--checkpoint-every", type=float, metavar="S",
+                       default=None, dest="checkpoint_every",
+                       help="rewrite --snapshot every S simulated seconds "
+                            "(rounded to the engine's chunk grid)")
+    run_p.add_argument("--stop-after", type=float, metavar="S", default=None,
+                       dest="stop_after",
+                       help="stop once the clock reaches S simulated seconds "
+                            "(with --snapshot: a resumable prefix)")
+    run_p.add_argument("--restore", metavar="PATH", default=None,
+                       help="resume a peas-snapshot/1 file instead of "
+                            "starting fresh; continues the embedded scenario "
+                            "unless --fork-* flags change it")
+    run_p.add_argument("--force-restore", action="store_true",
+                       help="restore even if the snapshot was written at a "
+                            "different git revision")
+    run_p.add_argument("--fork-failure-rate", type=float, metavar="RATE",
+                       default=None,
+                       help="with --restore: fork the snapshot under this "
+                            "failure rate (failures per 5000 s)")
+    run_p.add_argument("--fork-faults", metavar="PATH", default=None,
+                       help="with --restore: fork the snapshot under this "
+                            "fault plan (peas-faultplan/1 JSON)")
+    run_p.add_argument("--fork-max-time", type=float, metavar="S", default=None,
+                       help="with --restore: fork with a different horizon")
 
     inspect_p = sub.add_parser(
         "inspect",

@@ -8,7 +8,7 @@ can schedule its own death event — the mechanism that produces the paper's
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from .model import PowerProfile, RadioMode
 
@@ -115,6 +115,30 @@ class NodeBattery:
         self._integrate(now)
         self._remaining = max(0.0, self._remaining - joules)
         self.by_category[category] = self.by_category.get(category, 0.0) + joules
+
+    # ------------------------------------------------------------- snapshot
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable battery state.
+
+        ``by_category`` is saved as ordered pairs because its insertion
+        order is run-history and flows into ``energy_report`` output; the
+        ``_frame_j`` memo is derived (recomputed on demand) and omitted.
+        """
+        return {
+            "remaining": self._remaining,
+            "mode": self._mode.value,
+            "last_update": self._last_update,
+            "by_category": [[k, v] for k, v in self.by_category.items()],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore state saved by :meth:`state_dict` (profile and
+        ``initial_j`` come from reconstruction, not the snapshot)."""
+        self._remaining = float(state["remaining"])
+        self._mode = RadioMode(state["mode"])
+        self._power_w = self.profile.mode_power(self._mode)
+        self._last_update = float(state["last_update"])
+        self.by_category = {k: float(v) for k, v in state["by_category"]}
 
     # ----------------------------------------------------------- invariants
     def assert_invariants(self, now: float) -> None:

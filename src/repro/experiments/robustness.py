@@ -27,7 +27,7 @@ from ..faults import (
     RegionKillFault,
     TransientOutageFault,
 )
-from ..harness import RunOptions
+from ..harness.options import RunOptions
 from .metrics import MeanStd, RunResult, aggregate_values
 from .paper import BASELINE_FAILURE_RATE, bench_processes, bench_seeds
 from .scenario import Scenario

@@ -27,19 +27,49 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from ..harness import RunOptions
-from ..harness.runner import run as _run_scenario
+from ..harness.options import RunOptions
 from .metrics import RunResult
 from .scenario import Scenario
 
 __all__ = [
     "RunError",
     "SweepError",
+    "WarmStart",
     "expand_seeds",
     "expand_protocols",
     "run_sweep",
     "group_by",
 ]
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """Shared burn-in for fault-surface sweeps (fig 12–14 style).
+
+    A failure-rate sweep varies only the fault surface across variants, so
+    every variant's first ``burn_in_s`` simulated seconds are identical —
+    fault-free — work.  ``run_sweep(warm_start=...)`` simulates each
+    distinct fault-quiescent base exactly once to ``burn_in_s``, writes a
+    ``peas-snapshot/1`` checkpoint, and warm-start **forks** every variant
+    from it (fresh fault RNG streams arm at the restored clock; see
+    :mod:`repro.harness.snapshot`).
+
+    Parameters
+    ----------
+    burn_in_s:
+        Simulated seconds of shared prefix; must be below every
+        scenario's ``max_time_s``.
+    snapshot_dir:
+        Where burn-in snapshots are written (created if missing);
+        ``None`` uses a temporary directory deleted with the process.
+    """
+
+    burn_in_s: float
+    snapshot_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.burn_in_s <= 0:
+            raise ValueError("burn_in_s must be positive")
 
 
 def expand_seeds(scenarios: Iterable[Scenario], seeds: Sequence[int]) -> List[Scenario]:
@@ -116,14 +146,29 @@ class _Outcome:
     retried: bool = field(default=False, compare=False)
 
 
-def _guarded_run(scenario: Scenario, options: RunOptions) -> _Outcome:
+def _guarded_run(
+    scenario: Scenario,
+    warm_snapshot: Optional[str] = None,
+    *,
+    options: RunOptions,
+) -> _Outcome:
     # The telemetry hooks are process-global no-ops unless this worker was
     # initialized by a SweepTelemetry bus (see experiments.telemetry).
+    # Harness imports stay inside the function: experiments <-> harness is
+    # otherwise a package-level import cycle.
+    from ..harness.runner import run as _run_scenario
+    from ..harness.snapshot import resume as _resume_snapshot
     from .telemetry import worker_run_finished, worker_run_started
 
     worker_run_started(scenario)
     try:
-        outcome = _Outcome(result=_run_scenario(scenario, options))
+        if warm_snapshot is not None:
+            result = _resume_snapshot(
+                warm_snapshot, options, scenario=scenario
+            )
+        else:
+            result = _run_scenario(scenario, options)
+        outcome = _Outcome(result=result)
     except Exception as exc:  # noqa: BLE001 - captured, surfaced by policy
         outcome = _Outcome(
             error=RunError(
@@ -135,6 +180,67 @@ def _guarded_run(scenario: Scenario, options: RunOptions) -> _Outcome:
         )
     worker_run_finished(ok=outcome.error is None)
     return outcome
+
+
+def _prepare_warm_starts(
+    scenarios: Sequence[Scenario],
+    warm_start: WarmStart,
+    options: Optional[RunOptions],
+    telemetry,
+) -> List[str]:
+    """Simulate each distinct fault-quiescent base once; map every scenario
+    to its burn-in snapshot path.  Runs serially in the parent (there are
+    few distinct bases — fig 12 has one per seed)."""
+    import tempfile
+    from pathlib import Path
+
+    from ..faults.plan import FaultPlan
+    from ..harness.runner import run as _run_scenario
+    from ..obs.manifest import config_hash
+    from .serialize import scenario_to_dict
+
+    for scenario in scenarios:
+        if warm_start.burn_in_s >= scenario.max_time_s:
+            raise ValueError(
+                f"warm-start burn_in_s={warm_start.burn_in_s} must be below "
+                f"every scenario's max_time_s; "
+                f"{scenario.protocol}/n={scenario.num_nodes}/"
+                f"seed={scenario.seed} has max_time_s={scenario.max_time_s}"
+            )
+        drift = [e for e in scenario.fault_plan.entries if e.kind == "clock_drift"]
+        if drift:
+            raise ValueError(
+                "clock_drift fault plans cannot be warm-started (skews "
+                "apply before the burn-in); run these scenarios without "
+                "warm_start"
+            )
+    if warm_start.snapshot_dir is not None:
+        out_dir = Path(warm_start.snapshot_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    else:
+        out_dir = Path(tempfile.mkdtemp(prefix="peas-warm-start-"))
+    # Burn-ins run bare: the caller's capability stack (tracing, metrics)
+    # describes the variant runs, not the shared prefix.
+    sanitize = options.sanitize if options is not None else False
+    paths: List[str] = []
+    built: Dict[str, str] = {}
+    for scenario in scenarios:
+        base = scenario.with_(
+            failure_per_5000s=0.0,
+            fault_plan=FaultPlan(),
+            max_time_s=warm_start.burn_in_s,
+        )
+        digest = config_hash(scenario_to_dict(base))
+        if digest not in built:
+            target = out_dir / f"burn-in-{digest}.json"
+            _run_scenario(
+                base, RunOptions(snapshot_path=str(target), sanitize=sanitize)
+            )
+            built[digest] = str(target)
+        paths.append(built[digest])
+    if telemetry is not None:
+        telemetry.note_warm_start(burn_ins=len(built), forks=len(paths))
+    return paths
 
 
 def _default_chunksize(num_scenarios: int, processes: int) -> int:
@@ -155,6 +261,7 @@ def run_sweep(
     chunksize: Optional[int] = None,
     errors: str = "raise",
     telemetry=None,
+    warm_start: Optional[WarmStart] = None,
 ) -> List[Union[RunResult, RunError]]:
     """Run every scenario; ``processes`` > 1 uses a process pool.
 
@@ -163,6 +270,13 @@ def run_sweep(
     capability stack (profile / sanitize / trace-to-path / metrics) to
     every run, pooled or serial; ``chunksize`` overrides the per-worker
     batching.
+
+    ``warm_start`` (a :class:`WarmStart`) simulates each distinct
+    fault-quiescent base scenario once to ``burn_in_s``, snapshots it
+    (``peas-snapshot/1``), and warm-start forks every variant run from the
+    shared burn-in instead of simulating it from zero — the fig 12–14
+    recipe, where variants differ only in failure rate.  Attached
+    telemetry reports the reuse (burn-ins simulated vs. runs forked).
 
     ``telemetry`` (a :class:`~repro.experiments.telemetry.SweepTelemetry`)
     attaches the sweep telemetry bus: pooled workers ship heartbeats to a
@@ -185,23 +299,31 @@ def run_sweep(
     pooled = processes is not None and processes > 1
     if telemetry is not None:
         telemetry.start(len(scenarios), processes=processes if pooled else 1)
+    warm_paths: Optional[List[str]] = None
+    if warm_start is not None:
+        warm_paths = _prepare_warm_starts(scenarios, warm_start, options, telemetry)
     if pooled:
         assert processes is not None
         if chunksize is None:
             chunksize = _default_chunksize(len(scenarios), processes)
         pool_kwargs = telemetry.pool_kwargs() if telemetry is not None else {}
         with ProcessPoolExecutor(max_workers=processes, **pool_kwargs) as pool:
+            map_args = [scenarios] if warm_paths is None else [scenarios, warm_paths]
             outcomes = list(
                 pool.map(
                     partial(_guarded_run, options=options),
-                    scenarios,
+                    *map_args,
                     chunksize=chunksize,
                 )
             )
     else:
         outcomes = []
-        for scenario in scenarios:
-            outcome = _guarded_run(scenario, options)
+        for index, scenario in enumerate(scenarios):
+            outcome = _guarded_run(
+                scenario,
+                warm_paths[index] if warm_paths is not None else None,
+                options=options,
+            )
             outcomes.append(outcome)
             if telemetry is not None:
                 telemetry.note_outcome(
@@ -212,7 +334,11 @@ def run_sweep(
     for index, outcome in enumerate(outcomes):
         if outcome.error is None:
             continue
-        retry = _guarded_run(scenarios[index], options)
+        retry = _guarded_run(
+            scenarios[index],
+            warm_paths[index] if warm_paths is not None else None,
+            options=options,
+        )
         retry.retried = True
         if retry.error is not None:
             retry = _Outcome(

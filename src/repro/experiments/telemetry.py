@@ -185,6 +185,8 @@ class SweepTelemetry:
         self.errors = 0
         self.heartbeats = 0
         self.retries = 0
+        #: warm-start reuse: (burn-ins simulated, variant runs forked)
+        self.warm_start: Optional[Dict[str, int]] = None
         self.workers_seen: set = set()
         self.current: Optional[Dict[str, Any]] = None
         self._started_at: Optional[float] = None
@@ -221,6 +223,13 @@ class SweepTelemetry:
             "initializer": _worker_init,
             "initargs": (self._queue, self.interval_s),
         }
+
+    def note_warm_start(self, burn_ins: int, forks: int) -> None:
+        """Record warm-start reuse: ``burn_ins`` shared prefixes were
+        simulated once and ``forks`` variant runs forked from them (the
+        sweep skipped ``forks - burn_ins`` burn-in simulations)."""
+        self.warm_start = {"burn_ins": int(burn_ins), "forks": int(forks)}
+        self._render(force=True)
 
     def note_outcome(self, ok: bool, scenario: Any = None, retry: bool = False) -> None:
         """Progress tick from the parent process (serial runs, retries)."""
@@ -280,6 +289,11 @@ class SweepTelemetry:
         if 0 < self.done < self.total:
             eta = elapsed / self.done * (self.total - self.done)
             parts.append(f"eta {eta:.0f}s")
+        if self.warm_start:
+            parts.append(
+                f"warm-start {self.warm_start['burn_ins']} burn-ins"
+                f" -> {self.warm_start['forks']} forks"
+            )
         if self.current:
             parts.append(
                 f"{self.current.get('protocol')}/n={self.current.get('nodes')}"
@@ -358,6 +372,13 @@ class SweepTelemetry:
             ).inc(len(failures))
         if self.retries:
             registry.counter("peas_sweep_retries_total").inc(self.retries)
+        if self.warm_start:
+            registry.counter("peas_sweep_warm_start_burn_ins_total").inc(
+                self.warm_start["burn_ins"]
+            )
+            registry.counter("peas_sweep_warm_start_forks_total").inc(
+                self.warm_start["forks"]
+            )
         if self.heartbeats:
             registry.counter("peas_sweep_heartbeats_total").inc(self.heartbeats)
         if self.workers_seen:
@@ -405,6 +426,7 @@ class SweepTelemetry:
             "ok": ok,
             "errors": errors,
             "retries": self.retries,
+            "warm_start": self.warm_start,
             "heartbeats": self.heartbeats,
             "workers": len(self.workers_seen),
             "wall_s": round(wall_s, 3),

@@ -94,6 +94,8 @@ METRIC_NAMES: Dict[str, Tuple[str, str]] = {
     "peas_sweep_heartbeats_total": ("counter", "Worker heartbeats received by the parent."),
     "peas_sweep_workers": ("gauge", "Peak concurrent pool workers observed."),
     "peas_sweep_wall_seconds": ("gauge", "Wall-clock duration of the whole sweep."),
+    "peas_sweep_warm_start_burn_ins_total": ("counter", "Shared burn-in prefixes simulated for warm-started sweeps."),
+    "peas_sweep_warm_start_forks_total": ("counter", "Variant runs forked from a warm-start burn-in snapshot."),
 }
 
 _KINDS = ("counter", "gauge", "histogram")

@@ -123,9 +123,12 @@ class GrabRouter:
         path = [entry]
         current = entry
         while costs[current] > 0:
+            # Tie-break on a canonical id key: neighbors() is a set whose
+            # iteration order depends on its mutation history, which a
+            # snapshot restore cannot replay.
             next_hop = min(
                 (n for n in self.topology.neighbors(current) if n in costs),
-                key=lambda n: costs[n],
+                key=lambda n: (costs[n], str(n)),
                 default=None,
             )
             if next_hop is None or costs[next_hop] >= costs[current]:

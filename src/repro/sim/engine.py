@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from .events import Event, EventQueueEmpty, PRIORITY_DEFAULT
+from .handlers import RestoreContext, SnapshotError
 from .profiling import _GAUGE_PERIOD, EngineProfiler
 
 __all__ = ["Simulator", "SimulationError"]
@@ -50,6 +51,10 @@ _MIN_TOMBSTONES = 64
 
 class SimulationError(RuntimeError):
     """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+def _unresolved_handler(*_args: Any) -> None:  # pragma: no cover - guard
+    raise SnapshotError("restored event fired before its handler resolved")
 
 
 class Simulator:
@@ -70,6 +75,9 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._executed = 0
+        #: per-simulator insertion-order counter; restored by snapshots so
+        #: post-restore tie-breaks replay identically to the original run
+        self._next_seq = 0
         #: Observers called as ``fn(event)`` just before each event fires.
         self.pre_event_hooks: List[Callable[[Event], None]] = []
         #: When set, :meth:`run` dispatches through the instrumented loop
@@ -111,14 +119,24 @@ class Simulator:
         *args: Any,
         priority: int = PRIORITY_DEFAULT,
         label: Optional[str] = None,
+        handler: Optional[Tuple[str, Tuple[Any, ...]]] = None,
     ) -> Event:
-        """Schedule ``fn(*args)`` to fire ``delay`` seconds from now."""
+        """Schedule ``fn(*args)`` to fire ``delay`` seconds from now.
+
+        ``handler`` is the optional plain-data descriptor that lets the
+        event survive a snapshot (see :mod:`repro.sim.handlers`).
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, fn, args, priority=priority, label=label)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(
+            self._now + delay, fn, args,
+            priority=priority, label=label, handler=handler, seq=seq,
+        )
         event._on_cancel = self._discard
-        self._slots[event.seq] = event
-        heapq.heappush(self._queue, (event.time, event.priority, event.seq))
+        self._slots[seq] = event
+        heapq.heappush(self._queue, (event.time, event.priority, seq))
         return event
 
     def schedule_at(
@@ -128,16 +146,22 @@ class Simulator:
         *args: Any,
         priority: int = PRIORITY_DEFAULT,
         label: Optional[str] = None,
+        handler: Optional[Tuple[str, Tuple[Any, ...]]] = None,
     ) -> Event:
         """Schedule ``fn(*args)`` at the absolute simulation ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(time, fn, args, priority=priority, label=label)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(
+            time, fn, args,
+            priority=priority, label=label, handler=handler, seq=seq,
+        )
         event._on_cancel = self._discard
-        self._slots[event.seq] = event
-        heapq.heappush(self._queue, (event.time, event.priority, event.seq))
+        self._slots[seq] = event
+        heapq.heappush(self._queue, (event.time, event.priority, seq))
         return event
 
     # -------------------------------------------------------------- execution
@@ -235,6 +259,51 @@ class Simulator:
         finally:
             self._running = False
 
+    def run_bounded(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Run at most ``max_events`` events (and/or up to ``until``).
+
+        Unlike :meth:`run`, hitting the event budget is a normal return,
+        not an error, and the clock is **not** advanced to ``until`` when
+        the budget stops execution early — the simulation is left exactly
+        between two events, which is what snapshot-at-an-event-index needs.
+        Returns the number of events fired.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        queue = self._queue
+        slots = self._slots
+        heappop = heapq.heappop
+        hooks = self.pre_event_hooks
+        try:
+            while not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    return fired
+                while queue and queue[0][2] not in slots:
+                    heappop(queue)
+                if not queue:
+                    break
+                if until is not None and queue[0][0] > until:
+                    self._now = until
+                    break
+                event = slots.pop(heappop(queue)[2])
+                self._now = event.time
+                if hooks:
+                    for hook in hooks:
+                        hook(event)
+                event.fn(*event.args)
+                self._executed += 1
+                fired += 1
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+            return fired
+        finally:
+            self._running = False
+
     def _run_profiled(
         self, until: Optional[float], max_events: Optional[int]
     ) -> None:
@@ -310,6 +379,84 @@ class Simulator:
     def stop(self) -> None:
         """Request the current :meth:`run` to return after the active event."""
         self._stopped = True
+
+    # -------------------------------------------------------------- snapshot
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable engine state: clock, counters, and the live queue.
+
+        Every live event must carry a handler descriptor; tombstones are
+        dropped (reaping them early is a pure performance difference).
+        Raises :class:`~repro.sim.handlers.SnapshotError` naming the labels
+        of any descriptor-less events, so an unserializable queue fails
+        loudly instead of restoring half a simulation.
+        """
+        events = []
+        missing = []
+        for entry in sorted(self._queue):
+            event = self._slots.get(entry[2])
+            if event is None:
+                continue  # tombstone
+            if event.handler is None:
+                missing.append(event.label or repr(event.fn))
+                continue
+            kind, args = event.handler
+            events.append({
+                "t": event.time,
+                "p": event.priority,
+                "seq": event.seq,
+                "label": event.label,
+                "kind": kind,
+                "args": list(args),
+            })
+        if missing:
+            raise SnapshotError(
+                "event queue holds events without handler descriptors and "
+                f"cannot be serialized: {sorted(set(missing))}; schedule "
+                "them with handler=(kind, args) (see repro.sim.handlers)"
+            )
+        return {
+            "now": self._now,
+            "executed": self._executed,
+            "next_seq": self._next_seq,
+            "events": events,
+        }
+
+    def load_state(self, state: Dict[str, Any], ctx: RestoreContext) -> None:
+        """Restore clock, counters and queue from :meth:`state_dict` output.
+
+        The queue must be empty (restore into a freshly constructed run
+        whose initial events were never scheduled).  Each serialized event
+        is resolved through the handler registry against ``ctx``, which
+        rebinds its callable and re-adopts it into any owning timer or
+        periodic process.
+        """
+        if self._queue or self._slots:
+            raise SnapshotError(
+                "cannot load engine state into a simulator with pending "
+                "events; restore into a freshly constructed (unstarted) run"
+            )
+        self._now = float(state["now"])
+        self._executed = int(state["executed"])
+        self._next_seq = int(state["next_seq"])
+        entries: List[Tuple[float, int, int]] = []
+        for spec in state["events"]:
+            event = Event(
+                spec["t"],
+                _unresolved_handler,
+                (),
+                priority=spec["p"],
+                label=spec["label"],
+                handler=(spec["kind"], tuple(spec["args"])),
+                seq=spec["seq"],
+            )
+            ctx.resolve(event)
+            event._on_cancel = self._discard
+            self._slots[event.seq] = event
+            entries.append((event.time, event.priority, event.seq))
+        # state_dict wrote events in sorted order, so the entry list is
+        # already a valid heap; heapify is a cheap idempotent guard.
+        self._queue = entries
+        heapq.heapify(self._queue)
 
     # -------------------------------------------------------------- internals
     def _discard(self, event: Event) -> None:

@@ -1,0 +1,120 @@
+"""Handler-descriptor registry: the bridge between events and snapshots.
+
+The engine's heap holds arbitrary Python callables, which cannot be
+serialized.  Components therefore schedule snapshot-surviving events with a
+*handler descriptor* — ``(kind, args)`` where ``kind`` names an entry in
+this registry and ``args`` is a tuple of plain JSON data (ints, floats,
+strings, lists) — alongside the callable itself.  Running a simulation
+never touches the registry; it only matters at the snapshot boundary:
+
+* ``state_dict`` serializes each live event's descriptor (and refuses
+  events that lack one, listing their labels, so an unserializable queue
+  fails loudly rather than restoring half a simulation);
+* ``load_state`` looks each descriptor's ``kind`` up here and calls the
+  registered *resolver* ``resolve(ctx, event)``, which rebinds the event to
+  the right bound method of the restored object graph (and re-adopts it
+  into its owning :class:`~repro.sim.process.Timer` /
+  :class:`~repro.sim.process.PeriodicProcess`).
+
+Resolvers are registered by the component modules that own the schedule
+sites (``core/node.py``, ``net/channel.py``, ``faults/engine.py``, ...), so
+the catalogue of kinds lives next to the code it describes.
+
+:class:`RestoreContext` is the name → live-object directory a restore
+builds after reconstructing the object graph; resolvers fetch their
+components from it by well-known names ("network", "channel", "faults",
+...).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+    from .events import Event
+
+__all__ = [
+    "SnapshotError",
+    "HANDLER_KINDS",
+    "register_handler",
+    "handler_registered",
+    "RestoreContext",
+]
+
+
+class SnapshotError(RuntimeError):
+    """Raised when simulation state cannot be serialized or restored —
+    an event without a handler descriptor, an unknown handler kind, a
+    provenance mismatch, or a component missing from the restore context."""
+
+
+#: kind -> resolver; a resolver rebinds ``event.fn`` / ``event.args`` from
+#: the descriptor args and the restored object graph, and re-adopts the
+#: event into any owning Timer/PeriodicProcess.
+Resolver = Callable[["RestoreContext", "Event"], None]
+
+HANDLER_KINDS: Dict[str, Resolver] = {}
+
+
+def register_handler(kind: str) -> Callable[[Resolver], Resolver]:
+    """Decorator registering ``kind``'s resolver (one per kind, checked)."""
+
+    def decorate(resolver: Resolver) -> Resolver:
+        if kind in HANDLER_KINDS:
+            raise ValueError(f"handler kind {kind!r} is already registered")
+        HANDLER_KINDS[kind] = resolver
+        return resolver
+
+    return decorate
+
+
+def handler_registered(kind: str) -> bool:
+    """Whether ``kind`` has a resolver (used by tests and validation)."""
+    return kind in HANDLER_KINDS
+
+
+class RestoreContext:
+    """Directory of restored live objects, keyed by well-known names.
+
+    A restore builds the object graph by re-running harness construction
+    (construction-time RNG draws replay deterministically), registers the
+    components resolvers need (``provide``), then resolves the serialized
+    event queue against it.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._components: Dict[str, Any] = {}
+
+    def provide(self, name: str, component: Any) -> None:
+        self._components[name] = component
+
+    def component(self, name: str) -> Any:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise SnapshotError(
+                f"restore context has no component {name!r}; the snapshot "
+                "references a subsystem the reconstructed run did not build "
+                f"(available: {sorted(self._components)})"
+            ) from None
+
+    def component_or_none(self, name: str) -> Optional[Any]:
+        return self._components.get(name)
+
+    def resolve(self, event: "Event") -> None:
+        """Rebind ``event`` from its descriptor via the registry."""
+        if event.handler is None:
+            raise SnapshotError(
+                f"event {event.label or '?'} (t={event.time}) has no handler "
+                "descriptor and cannot be restored"
+            )
+        kind = event.handler[0]
+        resolver = HANDLER_KINDS.get(kind)
+        if resolver is None:
+            raise SnapshotError(
+                f"unknown handler kind {kind!r}; registered kinds: "
+                f"{sorted(HANDLER_KINDS)}"
+            )
+        resolver(self, event)

@@ -1,0 +1,170 @@
+"""Unit contracts for ``peas-snapshot/1``: path templating, restore
+classification, fork preconditions, provenance enforcement and the atomic
+file format.  The end-to-end byte-identity story lives in
+``tests/integration/test_snapshot_roundtrip.py`` and
+``tests/property/test_prop_snapshot.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import Scenario
+from repro.experiments.serialize import scenario_to_dict
+from repro.faults import FaultPlan, load_fault_plan
+from repro.harness import RunOptions, load_snapshot, run, save_snapshot
+from repro.harness.snapshot import (
+    FORK_ALLOWED_FIELDS,
+    SNAPSHOT_SCHEMA,
+    _check_provenance,
+    _validate_fork,
+    classify_restore,
+    resume,
+)
+from repro.sim import SnapshotError
+
+SCENARIO = Scenario(num_nodes=9, seed=4, protocol="duty_cycle")
+
+
+# ------------------------------------------------------------- templating
+class TestSnapshotPathTemplating:
+    def test_placeholders_substitute_like_trace_path(self):
+        options = RunOptions(
+            trace_path="t-{seed}-{nodes}.ndjson",
+            snapshot_path="s-{seed}-{nodes}-{protocol}.json",
+        )
+        assert options.resolved_trace_path(SCENARIO) == "t-4-9.ndjson"
+        assert (
+            options.resolved_snapshot_path(SCENARIO)
+            == "s-4-9-duty_cycle.json"
+        )
+
+    def test_none_resolves_to_none(self):
+        assert RunOptions().resolved_snapshot_path(SCENARIO) is None
+
+    @pytest.mark.parametrize("field", ["trace_path", "snapshot_path"])
+    def test_unknown_placeholder_names_offender_and_supported(self, field):
+        options = RunOptions(**{field: "out-{sed}.json"})
+        with pytest.raises(ValueError) as err:
+            getattr(options, f"resolved_{field}")(SCENARIO)
+        message = str(err.value)
+        assert "{sed}" in message
+        assert field in message
+        for supported in ("{seed}", "{nodes}", "{protocol}"):
+            assert supported in message
+
+    @pytest.mark.parametrize("field", ["trace_path", "snapshot_path"])
+    def test_positional_placeholder_rejected(self, field):
+        options = RunOptions(**{field: "out-{}.json"})
+        with pytest.raises(ValueError, match="positional"):
+            getattr(options, f"resolved_{field}")(SCENARIO)
+
+    def test_checkpoint_cadence_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            RunOptions(snapshot_path="s.json", checkpoint_every_s=0.0)
+        with pytest.raises(ValueError, match="requires snapshot_path"):
+            RunOptions(checkpoint_every_s=100.0)
+        with pytest.raises(ValueError, match="positive"):
+            RunOptions(stop_after_s=-1.0)
+
+
+# ------------------------------------------------------- restore classify
+class TestClassifyRestore:
+    def test_identical_scenarios_resume(self):
+        d = scenario_to_dict(SCENARIO)
+        assert classify_restore(d, dict(d)) == "resume"
+
+    @pytest.mark.parametrize("field,value", [
+        ("failure_per_5000s", 32.0),
+        ("max_time_s", 123.0),
+    ])
+    def test_allowlisted_changes_fork(self, field, value):
+        base = scenario_to_dict(SCENARIO)
+        assert classify_restore(
+            base, scenario_to_dict(SCENARIO.with_(**{field: value}))
+        ) == "fork"
+
+    def test_blocked_field_raises_naming_it(self):
+        base = scenario_to_dict(SCENARIO)
+        variant = scenario_to_dict(SCENARIO.with_(num_nodes=99, seed=5))
+        with pytest.raises(SnapshotError) as err:
+            classify_restore(base, variant)
+        message = str(err.value)
+        assert "num_nodes" in message and "seed" in message
+        for allowed in sorted(FORK_ALLOWED_FIELDS):
+            assert allowed in message
+
+    def test_fork_requires_quiescent_burn_in(self):
+        dirty = scenario_to_dict(SCENARIO.with_(failure_per_5000s=8.0))
+        with pytest.raises(SnapshotError, match="fault-quiescent"):
+            _validate_fork(dirty, SCENARIO.with_(failure_per_5000s=16.0))
+
+    def test_fork_rejects_clock_drift_variants(self, tmp_path):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({
+            "schema": "peas-faultplan/1",
+            "entries": [{"kind": "clock_drift", "max_skew": 0.05}],
+        }), encoding="utf-8")
+        drifty = SCENARIO.with_(fault_plan=load_fault_plan(plan_file))
+        quiescent = scenario_to_dict(
+            SCENARIO.with_(failure_per_5000s=0.0, fault_plan=FaultPlan())
+        )
+        with pytest.raises(SnapshotError, match="clock_drift"):
+            _validate_fork(quiescent, drifty)
+
+
+# ------------------------------------------------------------- provenance
+def small_snapshot(tmp_path, **scenario_changes):
+    scenario = Scenario(
+        num_nodes=9, seed=4, protocol="duty_cycle", with_traffic=False,
+        max_time_s=600.0, failure_per_5000s=0.0,
+    ).with_(**scenario_changes)
+    target = tmp_path / "snap.json"
+    run(scenario, RunOptions(snapshot_path=str(target)))
+    return target
+
+
+class TestProvenance:
+    def test_roundtrip_and_format_check(self, tmp_path):
+        target = small_snapshot(tmp_path)
+        document = load_snapshot(target)
+        assert document["format"] == SNAPSHOT_SCHEMA
+        assert set(document["provenance"]) == {
+            "git_sha", "config_digest", "created_at_sim_s",
+            "created_events_executed",
+        }
+        assert not target.with_name("snap.json.tmp").exists()  # atomic write
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "peas-trace/1"}', encoding="utf-8")
+        with pytest.raises(SnapshotError, match="peas-snapshot/1"):
+            load_snapshot(bad)
+
+    def test_corrupt_config_digest_always_fatal(self, tmp_path):
+        document = load_snapshot(small_snapshot(tmp_path))
+        document["scenario"]["seed"] = 99  # edited after the fact
+        with pytest.raises(SnapshotError, match="corrupt"):
+            _check_provenance(document, force=True)
+
+    def test_git_sha_mismatch_refused_unless_forced(self, tmp_path):
+        document = load_snapshot(small_snapshot(tmp_path))
+        if document["provenance"]["git_sha"] is None:
+            pytest.skip("no git sha in this environment")
+        document["provenance"]["git_sha"] = "0" * 40
+        with pytest.raises(SnapshotError, match="force"):
+            _check_provenance(document)
+        _check_provenance(document, force=True)  # explicit override
+
+    def test_resume_refuses_stale_sha_end_to_end(self, tmp_path):
+        document = load_snapshot(small_snapshot(tmp_path))
+        if document["provenance"]["git_sha"] is None:
+            pytest.skip("no git sha in this environment")
+        document["provenance"]["git_sha"] = "0" * 40
+        with pytest.raises(SnapshotError, match="git"):
+            resume(document)
+        result = resume(document, force=True)
+        assert result.end_time >= 600.0  # ran to the horizon's chunk grid
+
+    def test_save_snapshot_creates_parent_dirs(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "snap.json"
+        save_snapshot({"format": SNAPSHOT_SCHEMA, "scenario": {}}, nested)
+        assert json.loads(nested.read_text())["format"] == SNAPSHOT_SCHEMA
