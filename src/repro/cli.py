@@ -278,19 +278,38 @@ def _cmd_inspect(args: argparse.Namespace) -> None:
 
 
 def _sweep_telemetry(args: argparse.Namespace, label: str):
-    """``(telemetry, options)`` for a sweep command's ``--telemetry`` flag.
+    """``(telemetry, options)`` for a sweep command's shared flags.
 
-    When active, per-run metrics collection is forced on so the sweep-level
-    export actually carries simulation metrics, and the exports land in the
-    flag's directory.  ``(None, None)`` when the flag is absent.
+    ``--telemetry DIR`` forces per-run metrics collection on so the
+    sweep-level export actually carries simulation metrics, with exports
+    landing in the flag's directory.  ``--store DIR`` attaches the
+    content-addressed result store (``docs/STORE.md``): completed runs
+    replay instantly on a re-run against the same store.  ``--resume``
+    additionally requires the store to already exist — a typo'd path
+    fails fast instead of silently recomputing into a fresh store.
+    ``(None, None)`` when no flag is given.
     """
     target = getattr(args, "telemetry", None)
-    if target is None:
+    store_dir = getattr(args, "store", None)
+    if getattr(args, "resume", False):
+        if store_dir is None:
+            raise SystemExit("error: --resume requires --store DIR")
+        from .store import ResultStore, StoreError
+
+        try:
+            ResultStore(store_dir, create=False)
+        except StoreError as exc:
+            raise SystemExit(f"error: --resume: {exc}")
+    if target is None and store_dir is None:
         return None, None
-    from .experiments import SweepTelemetry
+    telemetry = None
+    if target is not None:
+        from .experiments import SweepTelemetry
+
+        telemetry = SweepTelemetry(target, label=label)
     from .harness import RunOptions
 
-    return SweepTelemetry(target, label=label), RunOptions(metrics=True)
+    return telemetry, RunOptions(metrics=target is not None, store_dir=store_dir)
 
 
 def _announce_exports(telemetry) -> None:
@@ -407,6 +426,29 @@ def _cmd_robustness(args: argparse.Namespace) -> None:
          "mean recovery (s)", "deaths"],
         rows,
         title="Robustness: PEAS under the fault-model catalogue (N=320)"))
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """``peas-repro store {stats,verify,gc} DIR`` — attach, never create."""
+    import json
+
+    from .store import ResultStore, StoreError
+
+    try:
+        store = ResultStore(args.dir, create=False)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.store_cmd == "stats":
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.store_cmd == "verify":
+        report = store.verify()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 1 if report["quarantined"] else 0
+    report = store.gc(max_age_days=args.max_age_days, drop_all=args.all)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_connectivity(args: argparse.Namespace) -> None:
@@ -542,17 +584,34 @@ def build_parser() -> argparse.ArgumentParser:
                  "(default ./peas-telemetry)",
         )
 
+    def _add_store_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store", metavar="DIR", default=None,
+            help="content-addressed result store: every completed run is "
+                 "durable in DIR the moment it finishes, and runs already "
+                 "recorded there (same scenario, seed, code fingerprint) "
+                 "replay instantly instead of recomputing (docs/STORE.md)",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="with --store: require the store to already exist, i.e. "
+                 "resume an interrupted sweep rather than start a new one",
+        )
+
     for name in ("fig9", "fig10", "fig11", "table1"):
         fig_p = sub.add_parser(name, help=f"reproduce {name} (deployment sweep)")
         _add_telemetry_flag(fig_p)
+        _add_store_flags(fig_p)
     for name in ("fig12", "fig13", "fig14"):
         fig_p = sub.add_parser(name, help=f"reproduce {name} (failure sweep)")
         _add_telemetry_flag(fig_p)
+        _add_store_flags(fig_p)
     robustness_p = sub.add_parser(
         "robustness",
         help="sweep the fault-model catalogue and report recovery metrics",
     )
     _add_telemetry_flag(robustness_p)
+    _add_store_flags(robustness_p)
 
     base_p = sub.add_parser("baselines", help="PEAS vs baseline protocols")
     base_p.add_argument("--nodes", type=int, default=320)
@@ -565,6 +624,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seeds per protocol, averaged like the paper's "
                              "5-run points (default 1)")
     _add_telemetry_flag(base_p)
+    _add_store_flags(base_p)
+
+    store_p = sub.add_parser(
+        "store",
+        help="inspect or maintain a result store (peas-store/1 directory)",
+    )
+    store_sub = store_p.add_subparsers(dest="store_cmd", required=True)
+    stats_p = store_sub.add_parser(
+        "stats", help="occupancy, journal tallies and staleness as JSON"
+    )
+    stats_p.add_argument("dir", help="store directory")
+    verify_p = store_sub.add_parser(
+        "verify",
+        help="re-check every record's digest; corrupt records are "
+             "quarantined (exit status 1 if any were)",
+    )
+    verify_p.add_argument("dir", help="store directory")
+    gc_p = store_sub.add_parser(
+        "gc",
+        help="evict records and burn-in snapshots from other code "
+             "fingerprints (and optionally by age, or everything)",
+    )
+    gc_p.add_argument("dir", help="store directory")
+    gc_p.add_argument("--max-age-days", type=float, metavar="DAYS",
+                      default=None,
+                      help="also evict records not touched for DAYS days")
+    gc_p.add_argument("--all", action="store_true",
+                      help="drop every record and snapshot regardless of "
+                           "fingerprint or age")
 
     conn_p = sub.add_parser("connectivity", help="Theorem 3.1 range sweep")
     conn_p.add_argument("--side", type=float, default=50.0)
@@ -619,6 +707,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_report(args)
     elif args.command == "inspect":
         _cmd_inspect(args)
+    elif args.command == "store":
+        return _cmd_store(args)
     return 0
 
 

@@ -9,29 +9,36 @@ names its protocol and a :class:`~repro.harness.RunOptions` is picklable,
 pooled runs execute the identical harness code path as serial ones —
 capabilities included.
 
-A crash inside one run no longer takes the whole sweep down: every run is
-executed under a guard that captures the exception (type, message,
-traceback text) in a picklable :class:`RunError`, failed runs are retried
-once with the identical scenario (same seed — reproducible failures fail
-twice, transient ones recover), and whatever still fails is surfaced
-according to ``errors=``: ``"raise"`` re-raises with a sweep-level summary
-after all runs finish, ``"collect"`` leaves the :class:`RunError` in the
-result list at the failed scenario's position.
+Execution is delegated to :mod:`repro.experiments.executor`, which makes
+the sweep crash-safe end to end: failures are retried under a declarative
+:class:`RetryPolicy` (exponential backoff, deterministic jitter, optional
+per-run timeout), a run that exhausts its budget completes the sweep as a
+quarantined :class:`RunError` instead of aborting it, worker death
+re-spawns the pool and keeps draining, and — with ``options.store_dir``
+set — every completed run is durable in a :class:`repro.store.ResultStore`
+the moment it finishes, so an interrupted sweep re-run against the same
+store resumes with zero recomputation (``docs/STORE.md``).
 """
 
 from __future__ import annotations
 
-import traceback
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from functools import partial
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..harness.options import RunOptions
+from .executor import (
+    RetryPolicy,
+    RunError,
+    SweepError,
+    _guarded_run,
+    _Outcome,
+    execute,
+)
 from .metrics import RunResult
 from .scenario import Scenario
 
 __all__ = [
+    "RetryPolicy",
     "RunError",
     "SweepError",
     "WarmStart",
@@ -40,6 +47,10 @@ __all__ = [
     "run_sweep",
     "group_by",
 ]
+
+# Re-exported for callers and tests that reach for the internals here
+# (the executor module is their home since the resumable-executor split).
+_ = (_guarded_run, _Outcome)
 
 
 @dataclass(frozen=True)
@@ -60,8 +71,11 @@ class WarmStart:
         Simulated seconds of shared prefix; must be below every
         scenario's ``max_time_s``.
     snapshot_dir:
-        Where burn-in snapshots are written (created if missing);
-        ``None`` uses a temporary directory deleted with the process.
+        Where burn-in snapshots are written (created if missing).
+        ``None`` uses the sweep's result store when one is attached
+        (``options.store_dir``) — burn-ins are then cached across sweeps
+        under the current code fingerprint — and otherwise a temporary
+        directory deleted with the process.
     """
 
     burn_in_s: float
@@ -88,109 +102,19 @@ def expand_protocols(
     ]
 
 
-@dataclass(frozen=True)
-class RunError:
-    """A structured record of one failed run (picklable, JSON-friendly).
-
-    Captures what the parent process needs to triage a worker crash
-    without the original exception object: the scenario's identifying
-    coordinates, the exception type/message, and the formatted traceback.
-    """
-
-    scenario: Scenario
-    error_type: str
-    error_message: str
-    traceback_text: str
-    #: how many attempts were made (1 = failed without a retry)
-    attempts: int = 1
-
-    def summary(self, traceback_lines: int = 3) -> str:
-        """One actionable block per failure: the failing run's coordinates
-        (protocol / population / seed — enough to re-run it solo), the
-        exception, and the tail of the worker traceback (the frames
-        nearest the raise; the head is usually pool plumbing)."""
-        head = (
-            f"{self.scenario.protocol}/n={self.scenario.num_nodes}/"
-            f"seed={self.scenario.seed}: {self.error_type}: "
-            f"{self.error_message}"
-        )
-        tail = [
-            line
-            for line in self.traceback_text.rstrip().splitlines()
-            if line.strip()
-        ][-traceback_lines:]
-        if not tail:
-            return head
-        return "\n".join([head] + [f"    {line.rstrip()}" for line in tail])
-
-
-class SweepError(RuntimeError):
-    """Raised by ``run_sweep(errors="raise")`` after the sweep completes;
-    carries every :class:`RunError` for triage."""
-
-    def __init__(self, failures: List[RunError]) -> None:
-        lines = "\n".join(f"  - {f.summary()}" for f in failures)
-        super().__init__(
-            f"{len(failures)} of the sweep's runs failed (after one retry "
-            f"each):\n{lines}"
-        )
-        self.failures = failures
-
-
-@dataclass
-class _Outcome:
-    """Picklable envelope a guarded worker sends back: result or error."""
-
-    result: Optional[RunResult] = None
-    error: Optional[RunError] = None
-    retried: bool = field(default=False, compare=False)
-
-
-def _guarded_run(
-    scenario: Scenario,
-    warm_snapshot: Optional[str] = None,
-    *,
-    options: RunOptions,
-) -> _Outcome:
-    # The telemetry hooks are process-global no-ops unless this worker was
-    # initialized by a SweepTelemetry bus (see experiments.telemetry).
-    # Harness imports stay inside the function: experiments <-> harness is
-    # otherwise a package-level import cycle.
-    from ..harness.runner import run as _run_scenario
-    from ..harness.snapshot import resume as _resume_snapshot
-    from .telemetry import worker_run_finished, worker_run_started
-
-    worker_run_started(scenario)
-    try:
-        if warm_snapshot is not None:
-            result = _resume_snapshot(
-                warm_snapshot, options, scenario=scenario
-            )
-        else:
-            result = _run_scenario(scenario, options)
-        outcome = _Outcome(result=result)
-    except Exception as exc:  # noqa: BLE001 - captured, surfaced by policy
-        outcome = _Outcome(
-            error=RunError(
-                scenario=scenario,
-                error_type=type(exc).__name__,
-                error_message=str(exc),
-                traceback_text=traceback.format_exc(),
-            )
-        )
-    worker_run_finished(ok=outcome.error is None)
-    return outcome
-
-
 def _prepare_warm_starts(
     scenarios: Sequence[Scenario],
     warm_start: WarmStart,
     options: Optional[RunOptions],
     telemetry,
+    store=None,
 ) -> List[str]:
     """Simulate each distinct fault-quiescent base once; map every scenario
     to its burn-in snapshot path.  Runs serially in the parent (there are
-    few distinct bases — fig 12 has one per seed)."""
+    few distinct bases — fig 12 has one per seed).  With a result store
+    attached (and no explicit ``snapshot_dir``), burn-ins live in the
+    store's ``snapshots/`` area keyed by config digest + code fingerprint,
+    so a later sweep re-forks from them without re-simulating."""
     import tempfile
     from pathlib import Path
 
@@ -214,13 +138,18 @@ def _prepare_warm_starts(
                 "apply before the burn-in); run these scenarios without "
                 "warm_start"
             )
+    snapshot_store = None
     if warm_start.snapshot_dir is not None:
         out_dir = Path(warm_start.snapshot_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
+    elif store is not None:
+        snapshot_store = store
+        out_dir = store.snapshots_dir
     else:
         out_dir = Path(tempfile.mkdtemp(prefix="peas-warm-start-"))
     # Burn-ins run bare: the caller's capability stack (tracing, metrics)
-    # describes the variant runs, not the shared prefix.
+    # describes the variant runs, not the shared prefix.  ``store_dir`` is
+    # stripped too — the snapshot file itself is the cached artifact.
     sanitize = options.sanitize if options is not None else False
     paths: List[str] = []
     built: Dict[str, str] = {}
@@ -232,10 +161,22 @@ def _prepare_warm_starts(
         )
         digest = config_hash(scenario_to_dict(base))
         if digest not in built:
-            target = out_dir / f"burn-in-{digest}.json"
-            _run_scenario(
-                base, RunOptions(snapshot_path=str(target), sanitize=sanitize)
-            )
+            if snapshot_store is not None:
+                target = snapshot_store.snapshot_target(digest)
+                if snapshot_store.snapshot_valid(target):
+                    snapshot_store.note_snapshot("hit", target.name)
+                else:
+                    snapshot_store.note_snapshot("miss", target.name)
+                    _run_scenario(
+                        base,
+                        RunOptions(snapshot_path=str(target), sanitize=sanitize),
+                    )
+                    snapshot_store.note_snapshot("put", target.name)
+            else:
+                target = out_dir / f"burn-in-{digest}.json"
+                _run_scenario(
+                    base, RunOptions(snapshot_path=str(target), sanitize=sanitize)
+                )
             built[digest] = str(target)
         paths.append(built[digest])
     if telemetry is not None:
@@ -246,10 +187,11 @@ def _prepare_warm_starts(
 def _default_chunksize(num_scenarios: int, processes: int) -> int:
     """Batch pool work items explicitly instead of ``pool.map``'s default.
 
-    Individual runs are seconds-long, so per-item dispatch overhead is
-    negligible — but run times are *heterogeneous* (populations and
-    protocols differ wildly), so large chunks cause stragglers.  Aim for
-    ~4 chunks per worker to balance, with chunk size 1 as the floor.
+    Retained for callers that sized their own batches: the resumable
+    executor dispatches runs individually (per-run timeouts and worker
+    -death tracking need one future per run), so this value no longer
+    affects execution — per-item dispatch overhead is negligible next to
+    seconds-long runs, and it removes the straggler problem chunking had.
     """
     return max(1, num_scenarios // (processes * 4))
 
@@ -262,21 +204,31 @@ def run_sweep(
     errors: str = "raise",
     telemetry=None,
     warm_start: Optional[WarmStart] = None,
+    retry: Optional[RetryPolicy] = None,
+    _run_fn=None,
 ) -> List[Union[RunResult, RunError]]:
     """Run every scenario; ``processes`` > 1 uses a process pool.
 
     Results are returned in the order of the input scenarios either way, so
     downstream grouping is deterministic.  ``options`` applies the same
-    capability stack (profile / sanitize / trace-to-path / metrics) to
-    every run, pooled or serial; ``chunksize`` overrides the per-worker
-    batching.
+    capability stack (profile / sanitize / trace-to-path / metrics /
+    result store) to every run, pooled or serial; ``chunksize`` is
+    accepted for compatibility but ignored — the executor dispatches runs
+    individually so it can time them out and survive worker death.
+
+    ``options.store_dir`` attaches a :class:`repro.store.ResultStore`:
+    runs already recorded there (same scenario, seed, code fingerprint,
+    options) replay instantly in the parent, every newly computed run is
+    persisted the moment its worker finishes, and re-running an
+    interrupted sweep against the same store resumes with zero
+    recomputation of completed ``(scenario, seed)`` pairs.
 
     ``warm_start`` (a :class:`WarmStart`) simulates each distinct
     fault-quiescent base scenario once to ``burn_in_s``, snapshots it
     (``peas-snapshot/1``), and warm-start forks every variant run from the
     shared burn-in instead of simulating it from zero — the fig 12–14
-    recipe, where variants differ only in failure rate.  Attached
-    telemetry reports the reuse (burn-ins simulated vs. runs forked).
+    recipe, where variants differ only in failure rate.  With a store
+    attached, burn-in snapshots are cached in it across sweeps.
 
     ``telemetry`` (a :class:`~repro.experiments.telemetry.SweepTelemetry`)
     attaches the sweep telemetry bus: pooled workers ship heartbeats to a
@@ -285,83 +237,55 @@ def run_sweep(
     exports behind — the merged ``peas-metrics/1`` / Prometheus / manifest
     files are written to the telemetry's output directory.
 
-    Failed runs are retried once, serially, with the identical scenario
-    (the run is seed-deterministic, so a logic bug fails twice while a
-    transient worker problem recovers).  ``errors`` picks what happens to
-    runs that fail both attempts: ``"raise"`` (default) raises a
+    ``retry`` (a :class:`RetryPolicy`, default two attempts with a short
+    exponential backoff) governs failures: each failing run is retried
+    with the identical scenario (runs are seed-deterministic, so a logic
+    bug fails every attempt while a transient worker problem recovers),
+    and a run that exhausts its attempts is quarantined as a structured
+    :class:`RunError` carrying the attempt trail.  ``errors`` picks what
+    happens to quarantined runs: ``"raise"`` (default) raises a
     :class:`SweepError` summarizing every failure once the sweep finishes,
     ``"collect"`` returns :class:`RunError` records in the failed runs'
     positions (callers filter with ``isinstance``).
     """
     if errors not in ("raise", "collect"):
         raise ValueError(f"errors must be 'raise' or 'collect', got {errors!r}")
+    del chunksize  # legacy batching hint; the executor dispatches per run
     options = options if options is not None else RunOptions()
+    policy = retry if retry is not None else RetryPolicy()
+    store = None
+    if options.store_dir is not None:
+        from ..store import ResultStore, store_eligible
+
+        if store_eligible(options):
+            store = ResultStore(options.store_dir)
     pooled = processes is not None and processes > 1
     if telemetry is not None:
         telemetry.start(len(scenarios), processes=processes if pooled else 1)
     warm_paths: Optional[List[str]] = None
     if warm_start is not None:
-        warm_paths = _prepare_warm_starts(scenarios, warm_start, options, telemetry)
-    if pooled:
-        assert processes is not None
-        if chunksize is None:
-            chunksize = _default_chunksize(len(scenarios), processes)
-        pool_kwargs = telemetry.pool_kwargs() if telemetry is not None else {}
-        with ProcessPoolExecutor(max_workers=processes, **pool_kwargs) as pool:
-            map_args = [scenarios] if warm_paths is None else [scenarios, warm_paths]
-            outcomes = list(
-                pool.map(
-                    partial(_guarded_run, options=options),
-                    *map_args,
-                    chunksize=chunksize,
-                )
-            )
-    else:
-        outcomes = []
-        for index, scenario in enumerate(scenarios):
-            outcome = _guarded_run(
-                scenario,
-                warm_paths[index] if warm_paths is not None else None,
-                options=options,
-            )
-            outcomes.append(outcome)
-            if telemetry is not None:
-                telemetry.note_outcome(
-                    ok=outcome.error is None, scenario=scenario
-                )
-
-    # One same-seed retry for each failure, serial and in input order.
-    for index, outcome in enumerate(outcomes):
-        if outcome.error is None:
-            continue
-        retry = _guarded_run(
-            scenarios[index],
-            warm_paths[index] if warm_paths is not None else None,
-            options=options,
+        warm_paths = _prepare_warm_starts(
+            scenarios, warm_start, options, telemetry, store=store
         )
-        retry.retried = True
-        if retry.error is not None:
-            retry = _Outcome(
-                error=RunError(
-                    scenario=retry.error.scenario,
-                    error_type=retry.error.error_type,
-                    error_message=retry.error.error_message,
-                    traceback_text=retry.error.traceback_text,
-                    attempts=2,
-                ),
-                retried=True,
-            )
-        outcomes[index] = retry
-        if telemetry is not None:
-            telemetry.note_outcome(
-                ok=retry.error is None, scenario=scenarios[index], retry=True
-            )
-
-    failures = [o.error for o in outcomes if o.error is not None]
-    results: List[Union[RunResult, RunError]] = [
-        outcome.result if outcome.result is not None else outcome.error  # type: ignore[misc]
-        for outcome in outcomes
-    ]
+    results = execute(
+        scenarios,
+        processes=processes if pooled else None,
+        options=options,
+        policy=policy,
+        telemetry=telemetry,
+        warm_paths=warm_paths,
+        warm_burn_in_s=warm_start.burn_in_s if warm_start is not None else None,
+        store=store,
+        run_fn=_run_fn if _run_fn is not None else _guarded_run,
+    )
+    if store is not None and telemetry is not None:
+        hits = store.session["hits"]
+        telemetry.note_store(
+            hits=hits,
+            misses=len(scenarios) - hits,
+            evictions=store.session["evictions"] + store.session["quarantined"],
+        )
+    failures = [r for r in results if isinstance(r, RunError)]
     if telemetry is not None:
         telemetry.finish(scenarios, results)
     if failures and errors == "raise":

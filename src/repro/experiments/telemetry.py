@@ -41,6 +41,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
+from ..obs.atomic import atomic_write_text
 from ..obs.manifest import config_hash, git_sha, peak_rss_mb
 from ..obs.metrics import MetricsRegistry, save_metrics, save_prometheus
 
@@ -185,6 +186,14 @@ class SweepTelemetry:
         self.errors = 0
         self.heartbeats = 0
         self.retries = 0
+        #: runs that exhausted their retry budget (poison seeds)
+        self.quarantined = 0
+        #: process-pool respawns after worker death or run timeout
+        self.pool_restarts = 0
+        #: result-store replays served by the parent before dispatch
+        self.store_hits = 0
+        #: result-store accounting for the export counters (see note_store)
+        self.store: Optional[Dict[str, int]] = None
         #: warm-start reuse: (burn-ins simulated, variant runs forked)
         self.warm_start: Optional[Dict[str, int]] = None
         self.workers_seen: set = set()
@@ -247,6 +256,41 @@ class SweepTelemetry:
             }
         self._render()
 
+    def note_retry(self, scenario: Any = None) -> None:
+        """The executor scheduled another attempt for a failed run."""
+        self.retries += 1
+        if scenario is not None:
+            self.current = {
+                "protocol": scenario.protocol,
+                "nodes": scenario.num_nodes,
+                "seed": scenario.seed,
+            }
+        self._render()
+
+    def note_store_hit(self, scenario: Any = None) -> None:
+        """A run replayed from the result store instead of simulating."""
+        self.done += 1
+        self.store_hits += 1
+        self._render()
+
+    def note_quarantined(self, scenario: Any = None) -> None:
+        """A run exhausted its retry budget and completed as a RunError."""
+        self.quarantined += 1
+        self._render(force=True)
+
+    def note_pool_restart(self) -> None:
+        """The executor killed and re-spawned the worker pool."""
+        self.pool_restarts += 1
+        self._render(force=True)
+
+    def note_store(self, hits: int, misses: int, evictions: int) -> None:
+        """Final result-store accounting, exported as ``peas_store_*``."""
+        self.store = {
+            "hits": int(hits),
+            "misses": int(misses),
+            "evictions": int(evictions),
+        }
+
     # ------------------------------------------------------------- messages
     def _drain_loop(self) -> None:
         import queue as queue_mod
@@ -285,6 +329,12 @@ class SweepTelemetry:
             parts.append(f"{len(self.workers_seen)} workers")
         if self.errors:
             parts.append(f"{self.errors} errors")
+        if self.store_hits:
+            parts.append(f"{self.store_hits} cached")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        if self.pool_restarts:
+            parts.append(f"{self.pool_restarts} pool restarts")
         parts.append(f"elapsed {elapsed:.0f}s")
         if 0 < self.done < self.total:
             eta = elapsed / self.done * (self.total - self.done)
@@ -372,6 +422,23 @@ class SweepTelemetry:
             ).inc(len(failures))
         if self.retries:
             registry.counter("peas_sweep_retries_total").inc(self.retries)
+        if self.quarantined:
+            registry.counter("peas_sweep_quarantined_total").inc(self.quarantined)
+        if self.pool_restarts:
+            registry.counter("peas_sweep_pool_restarts_total").inc(
+                self.pool_restarts
+            )
+        if self.store is not None:
+            if self.store["hits"]:
+                registry.counter("peas_store_hits_total").inc(self.store["hits"])
+            if self.store["misses"]:
+                registry.counter("peas_store_misses_total").inc(
+                    self.store["misses"]
+                )
+            if self.store["evictions"]:
+                registry.counter("peas_store_evictions_total").inc(
+                    self.store["evictions"]
+                )
         if self.warm_start:
             registry.counter("peas_sweep_warm_start_burn_ins_total").inc(
                 self.warm_start["burn_ins"]
@@ -402,9 +469,12 @@ class SweepTelemetry:
         }
         save_metrics(registry, paths["metrics"], meta=meta)
         save_prometheus(registry, paths["prometheus"])
-        paths["manifest"].write_text(
+        # Through the shared write-then-rename helper (like the metrics
+        # exports above): a crash mid-finish must never leave a truncated
+        # manifest where a resumed sweep would read it.
+        atomic_write_text(
+            paths["manifest"],
             json.dumps(manifest, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
         )
         return paths
 
@@ -426,6 +496,9 @@ class SweepTelemetry:
             "ok": ok,
             "errors": errors,
             "retries": self.retries,
+            "quarantined": self.quarantined,
+            "pool_restarts": self.pool_restarts,
+            "store": self.store,
             "warm_start": self.warm_start,
             "heartbeats": self.heartbeats,
             "workers": len(self.workers_seen),

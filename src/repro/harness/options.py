@@ -87,6 +87,14 @@ class RunOptions:
         simulated time, as if ``max_time_s`` were reached.  With
         ``snapshot_path`` this yields a resumable prefix run whose trace
         is byte-for-byte a prefix of the uninterrupted run's trace.
+    store_dir:
+        When set, the harness consults a :class:`repro.store.ResultStore`
+        rooted here before simulating: a verified ``peas-result/1`` record
+        for this ``(scenario, options)`` replays instantly, and a computed
+        result is persisted the moment the run finishes — pooled sweep
+        workers publish durably and concurrently.  Runs with side-effect
+        outputs (``trace_path``, ``snapshot_path``, ``stop_after_s``)
+        bypass the store entirely (see :func:`repro.store.store_eligible`).
     """
 
     profile: bool = False
@@ -96,6 +104,7 @@ class RunOptions:
     snapshot_path: Optional[str] = None
     checkpoint_every_s: Optional[float] = None
     stop_after_s: Optional[float] = None
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.checkpoint_every_s is not None:

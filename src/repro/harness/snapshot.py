@@ -64,14 +64,12 @@ def snapshot_provenance(scenario: Scenario, sim: Simulator) -> Dict[str, Any]:
 
 
 def save_snapshot(snapshot: Dict[str, Any], path: Union[str, Path]) -> None:
-    """Write a snapshot document atomically (write-then-rename, so a crash
+    """Write a snapshot document atomically (write-then-rename via the
+    shared :func:`repro.obs.atomic.atomic_write_text` helper, so a crash
     mid-checkpoint never leaves a truncated file at the target path)."""
-    target = Path(path)
-    if target.parent and not target.parent.exists():
-        target.parent.mkdir(parents=True, exist_ok=True)
-    tmp = target.with_name(target.name + ".tmp")
-    tmp.write_text(json.dumps(snapshot) + "\n", encoding="utf-8")
-    tmp.replace(target)
+    from ..obs.atomic import atomic_write_text
+
+    atomic_write_text(path, json.dumps(snapshot) + "\n")
 
 
 def load_snapshot(path: Union[str, Path]) -> Dict[str, Any]:

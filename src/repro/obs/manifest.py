@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, Optional, Union
 
 __all__ = [
     "MANIFEST_SCHEMA",
+    "code_fingerprint",
     "config_hash",
     "git_sha",
     "package_versions",
@@ -73,6 +74,38 @@ def config_hash(config: Any) -> str:
     """
     payload = json.dumps(_canonical(config), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """A stable digest of the installed ``repro`` source tree.
+
+    The result-store cache key must change whenever the *code* that
+    produces results changes — a git SHA alone misses dirty working trees
+    (exactly the state a development sweep runs in) and is unavailable in
+    an installed wheel.  So the fingerprint hashes the actual bytes of
+    every ``.py`` file under the package, keyed by package-relative path:
+    any edit anywhere in ``repro`` yields a new fingerprint, and an
+    unchanged tree yields the same one regardless of mtimes, checkout
+    path, or git state.
+
+    Memoized per process (the tree cannot change under a running sweep
+    without invalidating far more than this cache).
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.blake2b(digest_size=16)
+        for source in sorted(package_root.rglob("*.py")):
+            rel = source.relative_to(package_root).as_posix()
+            digest.update(rel.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+            digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
 
 
 def git_sha() -> Optional[str]:
@@ -174,8 +207,10 @@ def build_manifest(
 
 
 def save_manifest(manifest: Dict[str, Any], path: Union[str, Path]) -> None:
-    """Write a manifest next to its experiment output."""
-    Path(path).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    """Write a manifest next to its experiment output (atomically)."""
+    from .atomic import atomic_write_text
+
+    atomic_write_text(path, json.dumps(manifest, indent=2, sort_keys=True) + "\n")
 
 
 def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:

@@ -96,6 +96,11 @@ METRIC_NAMES: Dict[str, Tuple[str, str]] = {
     "peas_sweep_wall_seconds": ("gauge", "Wall-clock duration of the whole sweep."),
     "peas_sweep_warm_start_burn_ins_total": ("counter", "Shared burn-in prefixes simulated for warm-started sweeps."),
     "peas_sweep_warm_start_forks_total": ("counter", "Variant runs forked from a warm-start burn-in snapshot."),
+    "peas_sweep_quarantined_total": ("counter", "Poison runs quarantined after exhausting every retry attempt."),
+    "peas_sweep_pool_restarts_total": ("counter", "Process-pool respawns after worker death or run timeout."),
+    "peas_store_hits_total": ("counter", "Result-store records replayed instead of simulated."),
+    "peas_store_misses_total": ("counter", "Result-store lookups that fell through to a simulation."),
+    "peas_store_evictions_total": ("counter", "Result-store records evicted (GC) or quarantined (corrupt)."),
 }
 
 _KINDS = ("counter", "gauge", "histogram")
@@ -313,10 +318,17 @@ def save_metrics(
     path: Union[str, Path],
     meta: Optional[Dict[str, Any]] = None,
 ) -> None:
-    """Write a ``peas-metrics/1`` NDJSON export (header + one sample/line)."""
+    """Write a ``peas-metrics/1`` NDJSON export (header + one sample/line).
+
+    The write is atomic (:func:`repro.obs.atomic.atomic_write_text`): a
+    crash mid-export never leaves a truncated file for ``inspect --diff``
+    or the validator to trip over.
+    """
+    from .atomic import atomic_write_text
+
     lines = [_encode(metrics_header(meta))]
     lines.extend(_encode(sample) for sample in registry.snapshot())
-    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def load_metrics_file(
@@ -505,8 +517,11 @@ def render_prometheus(registry: MetricsRegistry) -> str:
 
 
 def save_prometheus(registry: MetricsRegistry, path: Union[str, Path]) -> None:
-    """Write the Prometheus text-exposition dump next to the NDJSON export."""
-    Path(path).write_text(render_prometheus(registry), encoding="utf-8")
+    """Write the Prometheus text-exposition dump next to the NDJSON export
+    (atomically, like :func:`save_metrics`)."""
+    from .atomic import atomic_write_text
+
+    atomic_write_text(path, render_prometheus(registry))
 
 
 # --------------------------------------------------------------------------
